@@ -1,0 +1,110 @@
+// Command heroserve regenerates the paper's evaluation artifacts: every
+// figure of §V plus the planner telemetry, printed as text tables.
+//
+// Usage:
+//
+//	heroserve -exp fig7              # one experiment
+//	heroserve -exp all -scale full   # everything, paper-sized sweeps
+//	heroserve -list                  # enumerate experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"heroserve/internal/experiments"
+)
+
+type runner func(experiments.Scale, int64) (*experiments.Report, error)
+
+var registry = []struct {
+	id   string
+	desc string
+	run  runner
+}{
+	{"fig1", "prefill cost breakdown, LLaMA-3-70B TP=4 over 100GbE", func(_ experiments.Scale, _ int64) (*experiments.Report, error) {
+		return experiments.Fig1(), nil
+	}},
+	{"fig2", "homogeneous vs heterogeneous INA aggregation delay", func(_ experiments.Scale, _ int64) (*experiments.Report, error) {
+		return experiments.Fig2(), nil
+	}},
+	{"fig7", "testbed scalability and latency, OPT-66B", experiments.Fig7},
+	{"fig8", "pod-scale scalability, OPT-175B, 2tracks/8tracks", experiments.Fig8},
+	{"fig9", "in-network aggregation throughput vs message size", experiments.Fig9},
+	{"fig10", "KV-cache memory efficiency over time", experiments.Fig10},
+	{"alg1", "offline planner search telemetry", experiments.Alg1},
+	{"ablations", "online-scheduler design-choice ablations", experiments.Ablations},
+	{"ext-pcie", "future work: NUMA-aware PCIe pre-reduction", experiments.ExtPCIe},
+	{"ext-scale", "future work: rapid decode-instance scaling in/out", experiments.ExtScale},
+	{"crossover", "scheme crossover study: ring vs INA vs hetero by size", experiments.Crossover},
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (or 'all')")
+	format := flag.String("format", "text", "output format: text | csv")
+	scaleFlag := flag.String("scale", "quick", "sweep sizing: quick | full")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-6s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "heroserve: unknown scale %q (quick|full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "heroserve: -exp required (use -list to enumerate; 'all' runs everything)")
+		os.Exit(2)
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = nil
+		for _, e := range registry {
+			ids = append(ids, e.id)
+		}
+	}
+	for _, id := range ids {
+		var run runner
+		for _, e := range registry {
+			if e.id == id {
+				run = e.run
+				break
+			}
+		}
+		if run == nil {
+			fmt.Fprintf(os.Stderr, "heroserve: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		rep, err := run(scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heroserve: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "text":
+			rep.Fprint(os.Stdout)
+		case "csv":
+			if err := rep.FprintCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "heroserve: csv: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "heroserve: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

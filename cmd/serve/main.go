@@ -1,0 +1,151 @@
+// Command serve replays a request trace (from cmd/tracegen or hand-written
+// JSON) through a chosen serving system on a chosen topology and prints the
+// latency outcomes — the end-to-end path a downstream user drives.
+//
+// Usage:
+//
+//	tracegen -kind chatbot -n 100 -rate 4 > trace.json
+//	serve -trace trace.json -system heroserve -topology testbed -model opt-66b
+//	serve -trace trace.json -system distserve -elephants 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heroserve/internal/baselines"
+	"heroserve/internal/core"
+	"heroserve/internal/model"
+	"heroserve/internal/planner"
+	"heroserve/internal/serving"
+	"heroserve/internal/stats"
+	"heroserve/internal/topology"
+	"heroserve/internal/workload"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "JSON trace file ('-' for stdin)")
+	system := flag.String("system", "heroserve", "heroserve | distserve | ds-atp | ds-switchml")
+	topo := flag.String("topology", "testbed", "testbed | pod2 | pod8")
+	servers := flag.Int("servers", 12, "pod server count")
+	modelName := flag.String("model", "opt-66b", "opt-13b | opt-66b | opt-175b")
+	ttft := flag.Float64("ttft", 2.5, "TTFT SLA (s)")
+	tpot := flag.Float64("tpot", 0.15, "TPOT SLA (s)")
+	batch := flag.Int("batch", 32, "planner batch size Q")
+	minTens := flag.Int("min-tens-decode", 0, "decode tensor-parallel floor (cross-server regime)")
+	elephants := flag.Int("elephants", 0, "background elephant-flow lanes")
+	autoscale := flag.Bool("autoscale", false, "enable decode-instance autoscaling")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fatalf("-trace required (use cmd/tracegen to produce one)")
+	}
+	var trace *workload.Trace
+	var err error
+	if *tracePath == "-" {
+		trace, err = workload.Decode(os.Stdin)
+	} else {
+		f, ferr := os.Open(*tracePath)
+		if ferr != nil {
+			fatalf("%v", ferr)
+		}
+		defer f.Close()
+		trace, err = workload.Decode(f)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(trace.Requests) == 0 {
+		fatalf("empty trace")
+	}
+
+	var g *topology.Graph
+	switch *topo {
+	case "testbed":
+		g = topology.Testbed()
+	case "pod2":
+		g = topology.Pod2Tracks(*servers)
+	case "pod8":
+		g = topology.Pod8Tracks(*servers)
+	default:
+		fatalf("unknown topology %q", *topo)
+	}
+	var cfg model.Config
+	switch *modelName {
+	case "opt-13b":
+		cfg = model.OPT13B()
+	case "opt-66b":
+		cfg = model.OPT66B()
+	case "opt-175b":
+		cfg = model.OPT175B()
+	default:
+		fatalf("unknown model %q", *modelName)
+	}
+
+	rate := float64(len(trace.Requests)) / trace.Duration()
+	pre, dec := planner.SplitPoolsByServer(g, g.NumServers()/2)
+	in := planner.Inputs{
+		Model:         cfg,
+		Graph:         g,
+		PrefillGPUs:   pre,
+		DecodeGPUs:    dec,
+		Workload:      trace.BatchStats(*batch),
+		Lambda:        rate,
+		SLA:           serving.SLA{TTFT: *ttft, TPOT: *tpot},
+		MinTensDecode: *minTens,
+		Seed:          *seed,
+	}
+	opts := serving.Options{}
+	if *autoscale {
+		opts.Autoscale = &serving.AutoscaleConfig{InitialActive: 1}
+	}
+
+	var sys *serving.System
+	var plan *planner.Plan
+	switch *system {
+	case "heroserve":
+		sys, plan, _, err = core.NewSystem(in, nil, opts)
+	case "distserve":
+		sys, plan, err = baselines.NewSystem(baselines.DistServe, in, opts)
+	case "ds-atp":
+		sys, plan, err = baselines.NewSystem(baselines.DSATP, in, opts)
+	case "ds-switchml":
+		sys, plan, err = baselines.NewSystem(baselines.DSSwitchML, in, opts)
+	default:
+		fatalf("unknown system %q", *system)
+	}
+	if err != nil {
+		fatalf("planning: %v", err)
+	}
+	if *elephants > 0 {
+		sys.InjectElephants(*elephants, 512<<20, trace.Duration()+120, *seed+99)
+	}
+
+	res := sys.Run(trace)
+	sla := serving.SLA{TTFT: *ttft, TPOT: *tpot}
+	ttfts := stats.Summarize(res.TTFTs())
+	tpots := stats.Summarize(res.TPOTs())
+	fmt.Printf("system=%s plan=%s trace=%s requests=%d rate=%.3g req/s\n",
+		res.PolicyName, plan.Candidate, trace.Name, len(trace.Requests), rate)
+	fmt.Printf("served=%d in %.1fs simulated; SLA attainment=%.1f%%\n",
+		res.Served, res.Duration, res.Attainment(sla)*100)
+	fmt.Printf("TTFT: mean=%.3fs p50=%.3fs p90=%.3fs p99=%.3fs\n", ttfts.Mean, ttfts.P50, ttfts.P90, ttfts.P99)
+	fmt.Printf("TPOT: mean=%.4fs p50=%.4fs p90=%.4fs p99=%.4fs\n", tpots.Mean, tpots.P50, tpots.P90, tpots.P99)
+	fmt.Printf("comm: ring=%d ina-sync=%d ina-async=%d hetero=%d transfers=%d\n",
+		res.Comm.RingOps, res.Comm.INASyncOps, res.Comm.INAAsyncOps, res.Comm.HeteroOps, res.Comm.Transfers)
+	fmt.Printf("decode KV: mean=%.1f%% peak=%.1f%%; GPU-seconds=%.0f\n",
+		res.MeanKVUtilization()*100, res.PeakKVUtilization()*100, res.ActiveGPUSeconds)
+	if len(res.ScaleEvents) > 0 {
+		fmt.Printf("autoscaler events:\n")
+		for _, e := range res.ScaleEvents {
+			fmt.Printf("  t=%8.2fs %-10s instance=%d active=%d\n", e.T, e.Action, e.ID, e.Active)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
+	os.Exit(1)
+}

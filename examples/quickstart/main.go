@@ -1,0 +1,58 @@
+// Quickstart: build the paper's testbed topology, run HeroServe's offline
+// planner for OPT-13B, serve a small chatbot trace through the simulated
+// system with the load-aware online scheduler, and print the latency
+// outcomes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heroserve/internal/core"
+	"heroserve/internal/model"
+	"heroserve/internal/planner"
+	"heroserve/internal/serving"
+	"heroserve/internal/stats"
+	"heroserve/internal/topology"
+	"heroserve/internal/workload"
+)
+
+func main() {
+	// 1. The cluster: 4 GPU servers (2x A100, 2x V100), two programmable
+	// switches, 2tracks cross-connected wiring (paper Fig. 6).
+	g := topology.Testbed()
+	fmt.Printf("topology: %d GPUs on %d servers, %d switches, %d links\n",
+		len(g.GPUs()), g.NumServers(), len(g.Switches()), g.NumEdges())
+
+	// 2. Offline planning (Alg. 1 + Alg. 2): choose parallelism, placement,
+	// aggregation switches, and communication schemes under the SLA.
+	trace := workload.NewGenerator(workload.Chatbot, 42).Generate(64, 2)
+	in := core.DefaultInputs(g, 2, planner.Inputs{
+		Model:    model.OPT13B(),
+		Workload: trace.BatchStats(16),
+		Lambda:   2,
+		SLA:      serving.SLA{TTFT: 2.5, TPOT: 0.15},
+		Seed:     42,
+	})
+	sys, plan, policy, err := core.NewSystem(in, nil, serving.Options{})
+	if err != nil {
+		log.Fatalf("planning failed: %v", err)
+	}
+	fmt.Printf("plan: %s  (H=%.3g req/s, Tpre=%.3gs, Tdec=%.3gs)\n",
+		plan.Candidate, plan.H, plan.Tpre, plan.Tdec)
+
+	// 3. Serve the trace on the event-driven simulator.
+	res := sys.Run(trace)
+	ttft := stats.Summarize(res.TTFTs())
+	tpot := stats.Summarize(res.TPOTs())
+	fmt.Printf("served %d requests in %.1fs simulated time\n", res.Served, res.Duration)
+	fmt.Printf("TTFT: mean %.3fs  p90 %.3fs\n", ttft.Mean, ttft.P90)
+	fmt.Printf("TPOT: mean %.3fs  p90 %.3fs\n", tpot.Mean, tpot.P90)
+	fmt.Printf("SLA attainment: %.1f%%\n", res.Attainment(in.SLA)*100)
+
+	// 4. Peek at the online scheduler's decisions.
+	fmt.Println("online scheduler selections by scheme:")
+	for scheme, n := range policy.SchemeSelections() {
+		fmt.Printf("  %-10s %d\n", scheme, n)
+	}
+}

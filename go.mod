@@ -1,0 +1,3 @@
+module heroserve
+
+go 1.22

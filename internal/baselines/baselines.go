@@ -1,0 +1,157 @@
+// Package baselines implements the three comparison systems of the paper's
+// evaluation (§V) as communication policies and planner variants:
+//
+//   - DistServe: prefill/decode disaggregation with NCCL-style ring
+//     all-reduce only (no in-network aggregation).
+//   - DS-SwitchML: DistServe + synchronous Ethernet INA (SwitchML slots).
+//   - DS-ATP: DistServe + asynchronous Ethernet INA (ATP shared pool).
+//
+// All three plan with the heterogeneous scheme disabled; the INA variants
+// force their aggregation discipline onto every cross-GPU group. HeroServe
+// itself lives in internal/core.
+package baselines
+
+import (
+	"fmt"
+
+	"heroserve/internal/collective"
+	"heroserve/internal/planner"
+	"heroserve/internal/serving"
+	"heroserve/internal/switchsim"
+)
+
+// Kind selects a baseline system.
+type Kind uint8
+
+const (
+	// DistServe is the ring-only disaggregated baseline.
+	DistServe Kind = iota
+	// DSSwitchML adds synchronous Ethernet INA.
+	DSSwitchML
+	// DSATP adds asynchronous Ethernet INA.
+	DSATP
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DistServe:
+		return "DistServe"
+	case DSSwitchML:
+		return "DS-SwitchML"
+	case DSATP:
+		return "DS-ATP"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ringPolicy always rings (DistServe's NCCL collectives).
+type ringPolicy struct{}
+
+func (ringPolicy) Name() string { return "DistServe" }
+
+func (ringPolicy) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps int, done func()) {
+	ctx.Comm.RingAllReduce(ctx.Group, msgBytes, steps, done)
+}
+
+// inaPolicy offloads cross-server synchronization to Ethernet INA at the
+// planner-chosen switch, in the given data-plane mode. Intra-server groups
+// stay on the NCCL ring (NVLink): a real SwitchML/ATP integration never
+// detours node-local collectives through the ToR. Groups without a reachable
+// switch also fall back to ring.
+type inaPolicy struct {
+	name string
+	mode switchsim.Mode
+}
+
+func (p inaPolicy) Name() string { return p.name }
+
+func (p inaPolicy) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps int, done func()) {
+	if ctx.Switch < 0 || intraServer(ctx) {
+		ctx.Comm.RingAllReduce(ctx.Group, msgBytes, steps, done)
+		return
+	}
+	ctx.Comm.INAAllReduce(ctx.Group, ctx.Switch, msgBytes, steps, p.mode, done)
+}
+
+// intraServer reports whether the whole group lives on one server.
+func intraServer(ctx *serving.GroupCtx) bool {
+	g := ctx.Comm.Network().Graph()
+	for _, id := range ctx.Group[1:] {
+		if !g.SameServer(ctx.Group[0], id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Policy returns the baseline's communication policy.
+func Policy(k Kind) serving.CommPolicy {
+	switch k {
+	case DistServe:
+		return ringPolicy{}
+	case DSSwitchML:
+		return inaPolicy{name: "DS-SwitchML", mode: switchsim.ModeSync}
+	case DSATP:
+		return inaPolicy{name: "DS-ATP", mode: switchsim.ModeAsync}
+	}
+	panic(fmt.Sprintf("baselines: unknown kind %d", k))
+}
+
+// Plan runs the offline planner in the baseline's configuration: the
+// heterogeneous scheme is disabled, and the resulting per-stage scheme
+// annotations are overridden to the baseline's discipline (ring for
+// DistServe; sync/async INA where a switch exists for the INA variants).
+func Plan(k Kind, in planner.Inputs) (*planner.Plan, error) {
+	in.Hetero = false
+	plan, err := planner.Solve(in)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", k, err)
+	}
+	var scheme collective.Scheme
+	switch k {
+	case DistServe:
+		scheme = collective.SchemeRing
+	case DSSwitchML:
+		scheme = collective.SchemeINASync
+	case DSATP:
+		scheme = collective.SchemeINAAsync
+	}
+	spans := func(spec *serving.InstanceSpec, stage int) bool {
+		group := spec.Stages[stage]
+		for _, id := range group[1:] {
+			if !in.Graph.SameServer(group[0], id) {
+				return true
+			}
+		}
+		return false
+	}
+	override := func(specs []serving.InstanceSpec) {
+		for i := range specs {
+			for s := range specs[i].Scheme {
+				if scheme == collective.SchemeRing || specs[i].AggSwitch[s] < 0 || !spans(&specs[i], s) {
+					specs[i].Scheme[s] = collective.SchemeRing
+				} else {
+					specs[i].Scheme[s] = scheme
+				}
+			}
+		}
+	}
+	override(plan.Deployment.Prefill)
+	override(plan.Deployment.Decode)
+	return plan, nil
+}
+
+// NewSystem builds a serving system for the baseline over the planned
+// deployment.
+func NewSystem(k Kind, in planner.Inputs, opts serving.Options) (*serving.System, *planner.Plan, error) {
+	plan, err := Plan(k, in)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.Policy = Policy(k)
+	sys, err := serving.New(in.Graph, plan.Deployment, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, plan, nil
+}

@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"testing"
+
+	"heroserve/internal/collective"
+	"heroserve/internal/model"
+	"heroserve/internal/planner"
+	"heroserve/internal/serving"
+	"heroserve/internal/topology"
+	"heroserve/internal/workload"
+)
+
+// inputs plans OPT-66B in the cross-server decode regime (MinTensDecode
+// spans the testbed's 4-GPU servers), so the INA baselines actually have
+// spanning groups to offload.
+func inputs(t *testing.T) planner.Inputs {
+	t.Helper()
+	g := topology.Testbed()
+	pre, dec := planner.SplitPoolsByServer(g, 2)
+	trace := workload.NewGenerator(workload.Chatbot, 1).Generate(256, 1)
+	return planner.Inputs{
+		Model:         model.OPT66B(),
+		Graph:         g,
+		PrefillGPUs:   pre,
+		DecodeGPUs:    dec,
+		Workload:      trace.BatchStats(32),
+		Lambda:        1.0,
+		SLA:           serving.SLA{TTFT: 2.5, TPOT: 0.15},
+		MinTensDecode: 8,
+		Seed:          1,
+	}
+}
+
+// spansServers reports whether a stage group crosses servers.
+func spansServers(t *testing.T, in planner.Inputs, inst serving.InstanceSpec, stage int) bool {
+	t.Helper()
+	group := inst.Stages[stage]
+	for _, id := range group[1:] {
+		if !in.Graph.SameServer(group[0], id) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{DistServe: "DistServe", DSSwitchML: "DS-SwitchML", DSATP: "DS-ATP"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+		if Policy(k).Name() != want {
+			t.Errorf("Policy(%v).Name() = %q", k, Policy(k).Name())
+		}
+	}
+}
+
+func TestPlanOverridesSchemes(t *testing.T) {
+	for _, k := range []Kind{DistServe, DSSwitchML, DSATP} {
+		in := inputs(t)
+		plan, err := Plan(k, in)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		spanningINA := 0
+		for _, inst := range append(plan.Deployment.Prefill, plan.Deployment.Decode...) {
+			for s, sch := range inst.Scheme {
+				spanning := spansServers(t, in, inst, s) && inst.AggSwitch[s] >= 0
+				switch {
+				case k == DistServe && sch != collective.SchemeRing:
+					t.Errorf("DistServe stage scheme = %v", sch)
+				case k == DSSwitchML && spanning && sch != collective.SchemeINASync:
+					t.Errorf("DS-SwitchML spanning stage scheme = %v", sch)
+				case k == DSATP && spanning && sch != collective.SchemeINAAsync:
+					t.Errorf("DS-ATP spanning stage scheme = %v", sch)
+				case !spanning && sch != collective.SchemeRing:
+					t.Errorf("%v intra-server stage scheme = %v, want ring", k, sch)
+				}
+				if spanning {
+					spanningINA++
+				}
+				if sch == collective.SchemeHetero {
+					t.Errorf("%v plan contains the heterogeneous scheme", k)
+				}
+			}
+		}
+		if spanningINA == 0 {
+			t.Errorf("%v plan has no spanning stages: the cross-server regime is not engaged", k)
+		}
+	}
+}
+
+func TestBaselineSystemsServe(t *testing.T) {
+	trace := workload.NewGenerator(workload.Chatbot, 5).Generate(12, 2)
+	for _, k := range []Kind{DistServe, DSSwitchML, DSATP} {
+		sys, plan, err := NewSystem(k, inputs(t), serving.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if plan == nil {
+			t.Fatal("nil plan")
+		}
+		res := sys.Run(trace)
+		if res.Served != 12 {
+			t.Fatalf("%v served %d/12", k, res.Served)
+		}
+		if res.PolicyName != k.String() {
+			t.Errorf("policy name %q", res.PolicyName)
+		}
+		switch k {
+		case DistServe:
+			if res.Comm.INASyncOps+res.Comm.INAAsyncOps > 0 {
+				t.Errorf("DistServe used INA")
+			}
+			if res.Comm.RingOps == 0 {
+				t.Errorf("DistServe never rang")
+			}
+		case DSSwitchML:
+			if res.Comm.INASyncOps == 0 {
+				t.Errorf("DS-SwitchML never used sync INA")
+			}
+		case DSATP:
+			if res.Comm.INAAsyncOps == 0 {
+				t.Errorf("DS-ATP never used async INA")
+			}
+		}
+		if res.Comm.HeteroOps > 0 {
+			t.Errorf("%v used the heterogeneous scheme", k)
+		}
+	}
+}
+
+func TestPolicyUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Policy(Kind(9))
+}

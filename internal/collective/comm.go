@@ -1,0 +1,406 @@
+package collective
+
+import (
+	"fmt"
+	"math"
+
+	"heroserve/internal/netsim"
+	"heroserve/internal/switchsim"
+	"heroserve/internal/topology"
+)
+
+// CommEntryBytes is the aggregation payload per packet used by the simulated
+// data planes (M_ina in Table I). 1 KiB keeps a 64-slot window
+// link-saturating at 100 GbE with the testbed's ~5 us switch RTT.
+const CommEntryBytes = 1024
+
+// DefaultSlotWindow is the aggregator-slot window a synchronous INA job
+// requests from the control plane: 128 KiB in flight keeps a ~10 us switch
+// RTT pipe full at 100 GbE, and a 512-slot pool still serves four
+// concurrent jobs.
+const DefaultSlotWindow = 128
+
+// maxAsyncPenalty caps the ATP fallback degradation factor.
+const maxAsyncPenalty = 0.8
+
+// asyncBaseOverhead is ATP's intrinsic goodput overhead relative to
+// reservation-based synchronous aggregation, even without contention: the
+// end host must track per-chunk completion and handle best-effort losses
+// (ATP reaches ~90-95% of SwitchML's single-job goodput in the literature).
+const asyncBaseOverhead = 0.05
+
+// Counters tallies the communication operations executed, for tests and for
+// the experiment reports.
+type Counters struct {
+	RingOps       int64
+	INASyncOps    int64
+	INAAsyncOps   int64
+	HeteroOps     int64
+	Transfers     int64
+	SlotFallbacks int64 // sync INA ops demoted to ring for lack of slots
+	BytesMoved    int64 // payload bytes entering the network (pre-replication)
+}
+
+// Comm executes collective operations over the flow-level network simulator,
+// exercising the switch data planes for in-network aggregation.
+type Comm struct {
+	net      *netsim.Network
+	router   Router
+	switches map[topology.NodeID]*switchsim.Switch
+	nextJob  switchsim.JobID
+
+	// activeAsync counts in-flight asynchronous INA jobs per switch, for the
+	// ATP contention model.
+	activeAsync map[topology.NodeID]int
+
+	counters Counters
+}
+
+// NewComm returns a Comm over the network, instantiating one switch data
+// plane per INA-capable switch node (INASlots > 0).
+func NewComm(net *netsim.Network, router Router) *Comm {
+	c := &Comm{
+		net:         net,
+		router:      router,
+		switches:    make(map[topology.NodeID]*switchsim.Switch),
+		activeAsync: make(map[topology.NodeID]int),
+	}
+	g := net.Graph()
+	for _, s := range g.Switches() {
+		n := g.Node(s)
+		if n.INASlots > 0 {
+			c.switches[s] = switchsim.New(n.Name, n.INASlots, CommEntryBytes)
+		}
+	}
+	return c
+}
+
+// Counters returns a snapshot of the op counters.
+func (c *Comm) Counters() Counters { return c.counters }
+
+// Switch returns the data plane of the given switch node (nil if the node is
+// not INA-capable).
+func (c *Comm) Switch(sw topology.NodeID) *switchsim.Switch { return c.switches[sw] }
+
+// Router returns the router in use.
+func (c *Comm) Router() Router { return c.router }
+
+// Network returns the underlying flow simulator.
+func (c *Comm) Network() *netsim.Network { return c.net }
+
+// route resolves a path or panics: unroutable pairs inside a planned
+// deployment are a planner bug, not a runtime condition.
+func (c *Comm) route(a, b topology.NodeID, size int64) topology.Path {
+	p, ok := c.router.Route(a, b, size)
+	if !ok {
+		panic(fmt.Sprintf("collective: no route %d -> %d", a, b))
+	}
+	return p
+}
+
+// Transfer moves bytes from one node to another (pipeline activations,
+// KV-cache migration) and calls done on delivery.
+func (c *Comm) Transfer(from, to topology.NodeID, bytes int64, done func()) {
+	c.counters.Transfers++
+	c.counters.BytesMoved += bytes
+	if from == to {
+		c.net.Engine().After(0, done)
+		return
+	}
+	p := c.route(from, to, bytes)
+	c.net.StartFlow(p, bytes, func(*netsim.Flow) { done() })
+}
+
+// barrier invokes done after n completions have been signalled.
+func barrier(n int, done func()) func() {
+	if n <= 0 {
+		panic("collective: empty barrier")
+	}
+	remaining := n
+	return func() {
+		remaining--
+		if remaining == 0 {
+			done()
+		}
+	}
+}
+
+// RingAllReduce performs steps sequential ring all-reduce steps of msgBytes
+// each over the group, folded into one flow round: every GPU streams its
+// total ring traffic, steps * 2(P-1)/P * msgBytes, to its ring successor;
+// the remaining sequential-step fill latency is added as a fixed delay. done
+// runs when the slowest segment finishes.
+func (c *Comm) RingAllReduce(group []topology.NodeID, msgBytes int64, steps int, done func()) {
+	c.counters.RingOps++
+	p := len(group)
+	if p <= 1 || msgBytes == 0 || steps == 0 {
+		c.net.Engine().After(0, done)
+		return
+	}
+	order := RingOrder(c.net.Graph(), group)
+	// Each GPU streams its total ring traffic, derated by the ring protocol
+	// efficiency (extra bytes model the chunking/pipeline overhead).
+	total := int64(float64(steps) * 2 * float64(p-1) / float64(p) * float64(msgBytes) / RingEfficiency)
+	c.counters.BytesMoved += total * int64(p)
+
+	// Fill latency: each step crosses 2(P-1) sequential segment latencies;
+	// each flow already pays its own path latency once.
+	maxLat := 0.0
+	paths := make([]topology.Path, p)
+	for i := 0; i < p; i++ {
+		paths[i] = c.route(order[i], order[(i+1)%p], total)
+		var lat float64
+		for _, eid := range paths[i].Edges {
+			lat += c.net.Graph().Edge(eid).Latency
+		}
+		if lat > maxLat {
+			maxLat = lat
+		}
+	}
+	fill := float64(steps*2*(p-1)-1) * maxLat
+	if fill < 0 {
+		fill = 0
+	}
+	eng := c.net.Engine()
+	bar := barrier(p, func() { eng.After(fill, done) })
+	for i := 0; i < p; i++ {
+		c.net.StartFlow(paths[i], total, func(*netsim.Flow) { bar() })
+	}
+}
+
+// inaParams captures the slot-window throughput model of one INA op.
+type inaParams struct {
+	sw      *switchsim.Switch
+	swNode  topology.NodeID
+	job     switchsim.JobID
+	mode    switchsim.Mode
+	window  int
+	penalty float64 // >= 1; async fallback degradation
+	rtt     float64
+}
+
+// prepareINA registers a job on the switch data plane and derives the
+// effective window/penalty. ok is false when a synchronous job cannot get
+// any aggregator slots (the caller falls back to ring).
+func (c *Comm) prepareINA(sw topology.NodeID, fanIn int, mode switchsim.Mode, rtt float64) (inaParams, bool) {
+	ds := c.switches[sw]
+	if ds == nil {
+		return inaParams{}, false
+	}
+	c.nextJob++
+	job := c.nextJob
+	granted, err := ds.RegisterJob(job, mode, fanIn, DefaultSlotWindow)
+	if err != nil {
+		panic(fmt.Sprintf("collective: register INA job: %v", err))
+	}
+	p := inaParams{sw: ds, swNode: sw, job: job, mode: mode, rtt: rtt}
+	if mode == switchsim.ModeSync {
+		if granted == 0 {
+			ds.ReleaseJob(job)
+			return inaParams{}, false
+		}
+		p.window = granted
+		p.penalty = 1
+	} else {
+		// ATP shares the pool opportunistically; contention from other
+		// in-flight async jobs produces host-aggregation fallbacks. A
+		// collision costs one chunk's fallback re-send, so roughly half the
+		// colliding fraction becomes extra traffic.
+		active := c.activeAsync[sw]
+		p.window = DefaultSlotWindow
+		collide := float64(active*DefaultSlotWindow) / float64(2*ds.PoolSize())
+		if collide > maxAsyncPenalty {
+			collide = maxAsyncPenalty
+		}
+		p.penalty = 1 + asyncBaseOverhead + collide
+		c.activeAsync[sw]++
+	}
+	return p, true
+}
+
+// finishINA releases control-plane state.
+func (c *Comm) finishINA(p inaParams) {
+	p.sw.ReleaseJob(p.job)
+	if p.mode == switchsim.ModeAsync {
+		c.activeAsync[p.swNode]--
+	}
+}
+
+// exerciseDataPlane pushes one representative aggregation round through the
+// switch so the data plane's counters and semantics stay on the hot path.
+func (c *Comm) exerciseDataPlane(p inaParams, fanIn int) {
+	vals := make([]int32, 4)
+	for w := 0; w < fanIn; w++ {
+		for i := range vals {
+			vals[i] = int32(w + i)
+		}
+		v, _ := p.sw.Ingest(switchsim.Packet{Job: p.job, Seq: 0, Worker: w, Values: vals})
+		if v == switchsim.VerdictDrop && p.mode == switchsim.ModeSync {
+			panic("collective: sync data plane dropped with reserved window")
+		}
+	}
+}
+
+// inaGoodput returns the window-limited aggregation goodput in bytes/second.
+func (p inaParams) inaGoodput() float64 {
+	return switchsim.SyncGoodput(p.window, p.sw.EntryBytes(), p.rtt, math.Inf(1))
+}
+
+// INAAllReduce performs steps synchronization steps of msgBytes each via
+// in-network aggregation at switch sw: a collection phase (all members
+// stream their totals to the switch), the switch aggregation latency, and a
+// distribution phase back to the members. The aggregator-slot window caps
+// goodput; a synchronous op that gets no slots falls back to ring (recorded
+// in the counters). mode selects SwitchML (sync) or ATP (async) semantics.
+func (c *Comm) INAAllReduce(group []topology.NodeID, sw topology.NodeID, msgBytes int64, steps int, mode switchsim.Mode, done func()) {
+	p := len(group)
+	if p <= 1 || msgBytes == 0 || steps == 0 {
+		c.net.Engine().After(0, done)
+		return
+	}
+	total := int64(steps) * msgBytes
+
+	// Resolve member<->switch paths first: they define the RTT.
+	paths := make([]topology.Path, p)
+	maxLat := 0.0
+	for i, k := range group {
+		paths[i] = c.route(k, sw, total)
+		var lat float64
+		for _, eid := range paths[i].Edges {
+			lat += c.net.Graph().Edge(eid).Latency
+		}
+		if lat > maxLat {
+			maxLat = lat
+		}
+	}
+	rtt := 2*maxLat + switchsim.AggLatency
+
+	params, ok := c.prepareINA(sw, p, mode, rtt)
+	if !ok {
+		c.counters.SlotFallbacks++
+		c.RingAllReduce(group, msgBytes, steps, done)
+		return
+	}
+	if mode == switchsim.ModeSync {
+		c.counters.INASyncOps++
+	} else {
+		c.counters.INAAsyncOps++
+	}
+	c.counters.BytesMoved += 2 * total * int64(p)
+	c.exerciseDataPlane(params, p)
+
+	eng := c.net.Engine()
+	start := eng.Now()
+	// The async fallback fraction re-sends data to an end-host aggregator:
+	// inflate the transferred volume by the penalty factor.
+	flowTotal := int64(float64(total) * params.penalty)
+
+	finish := func() {
+		// Enforce the slot-window goodput cap on the whole operation.
+		minElapsed := 2 * float64(total) / params.inaGoodput() * params.penalty
+		elapsed := eng.Now() - start
+		wait := minElapsed - elapsed
+		if wait < 0 {
+			wait = 0
+		}
+		eng.After(wait, func() {
+			c.finishINA(params)
+			done()
+		})
+	}
+
+	distribute := func() {
+		bar := barrier(p, finish)
+		for i := range group {
+			c.net.StartFlow(paths[i], flowTotal, func(*netsim.Flow) { bar() })
+		}
+	}
+
+	collectBar := barrier(p, func() {
+		eng.After(float64(steps)*switchsim.AggLatency, distribute)
+	})
+	for i := range group {
+		c.net.StartFlow(paths[i], flowTotal, func(*netsim.Flow) { collectBar() })
+	}
+}
+
+// HeteroAllReduce performs HeroServe's heterogeneous INA: NVLink
+// pre-reduction to each server's leader GPU, synchronous Ethernet INA across
+// the leaders at switch sw, and NVLink broadcast back to the members.
+// Single-server groups never touch Ethernet.
+func (c *Comm) HeteroAllReduce(group []topology.NodeID, sw topology.NodeID, msgBytes int64, steps int, done func()) {
+	c.heteroAllReduce(ServerLeaders(c.net.Graph(), group), len(group), sw, msgBytes, steps, done)
+}
+
+// HeteroNUMAAllReduce is the §VII future-work variant for PCIe-only
+// servers: pre-reduction happens per (server, NUMA domain) so intra-socket
+// PCIe carries it at full speed, and one leader per domain joins the
+// Ethernet aggregation. On NVLink servers it behaves exactly like
+// HeteroAllReduce.
+func (c *Comm) HeteroNUMAAllReduce(group []topology.NodeID, sw topology.NodeID, msgBytes int64, steps int, done func()) {
+	c.heteroAllReduce(NUMALeaders(c.net.Graph(), group), len(group), sw, msgBytes, steps, done)
+}
+
+func (c *Comm) heteroAllReduce(servers [][]topology.NodeID, p int, sw topology.NodeID, msgBytes int64, steps int, done func()) {
+	if p <= 1 || msgBytes == 0 || steps == 0 {
+		c.net.Engine().After(0, done)
+		return
+	}
+	c.counters.HeteroOps++
+	total := int64(steps) * msgBytes
+	leaders := make([]topology.NodeID, len(servers))
+	intraFlows := 0
+	for i, members := range servers {
+		leaders[i] = members[0]
+		intraFlows += len(members) - 1
+	}
+	c.counters.BytesMoved += 2 * total * int64(intraFlows)
+
+	broadcast := func() {
+		if intraFlows == 0 {
+			c.net.Engine().After(0, done)
+			return
+		}
+		bar := barrier(intraFlows, done)
+		for _, members := range servers {
+			for _, m := range members[1:] {
+				c.net.StartFlow(c.route(members[0], m, total), total, func(*netsim.Flow) { bar() })
+			}
+		}
+	}
+
+	interPhase := func() {
+		if len(leaders) <= 1 {
+			broadcast()
+			return
+		}
+		c.INAAllReduce(leaders, sw, msgBytes, steps, switchsim.ModeSync, broadcast)
+	}
+
+	if intraFlows == 0 {
+		interPhase()
+		return
+	}
+	bar := barrier(intraFlows, interPhase)
+	for _, members := range servers {
+		for _, m := range members[1:] {
+			c.net.StartFlow(c.route(m, members[0], total), total, func(*netsim.Flow) { bar() })
+		}
+	}
+}
+
+// AllReduce dispatches on scheme. sw is ignored by SchemeRing.
+func (c *Comm) AllReduce(scheme Scheme, group []topology.NodeID, sw topology.NodeID, msgBytes int64, steps int, done func()) {
+	switch scheme {
+	case SchemeRing:
+		c.RingAllReduce(group, msgBytes, steps, done)
+	case SchemeINASync:
+		c.INAAllReduce(group, sw, msgBytes, steps, switchsim.ModeSync, done)
+	case SchemeINAAsync:
+		c.INAAllReduce(group, sw, msgBytes, steps, switchsim.ModeAsync, done)
+	case SchemeHetero:
+		c.HeteroAllReduce(group, sw, msgBytes, steps, done)
+	default:
+		panic(fmt.Sprintf("collective: unknown scheme %d", scheme))
+	}
+}

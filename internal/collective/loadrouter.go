@@ -1,0 +1,172 @@
+package collective
+
+import (
+	"sort"
+
+	"heroserve/internal/netsim"
+	"heroserve/internal/topology"
+)
+
+// LoadAwareRouter implements the online scheduler's *path* half for
+// point-to-point transfers (§III-D: the policy "dynamically adjusts the
+// communication strategy and selects the most favorable transmission
+// routes"). For each (source, destination) pair it precomputes a small set
+// of candidate fabric paths — the static shortest path plus detours via
+// each reachable switch — and at call time picks the candidate whose most
+// utilized link is coolest, using live utilization from the flow simulator.
+// KV-cache migrations are the big winner: they are long point-to-point
+// flows that the static router would keep hammering onto one hot uplink.
+type LoadAwareRouter struct {
+	g      *topology.Graph
+	static *StaticRouter
+	net    *netsim.Network
+
+	// maxCandidates bounds the alternatives kept per pair.
+	maxCandidates int
+	cache         map[pairKey][]topology.Path
+}
+
+type pairKey struct {
+	a, b  topology.NodeID
+	class int
+}
+
+// NewLoadAwareRouter returns a router over g. Bind must be called with the
+// live network before the first Route; until then it behaves statically.
+func NewLoadAwareRouter(g *topology.Graph, maxCandidates int) *LoadAwareRouter {
+	if maxCandidates < 1 {
+		maxCandidates = 3
+	}
+	return &LoadAwareRouter{
+		g:             g,
+		static:        NewStaticRouter(g),
+		maxCandidates: maxCandidates,
+		cache:         make(map[pairKey][]topology.Path),
+	}
+}
+
+// Bind attaches the live flow simulator whose utilization drives choices.
+func (r *LoadAwareRouter) Bind(net *netsim.Network) { r.net = net }
+
+// candidates returns the cached path alternatives for a pair.
+func (r *LoadAwareRouter) candidates(a, b topology.NodeID, size int64) []topology.Path {
+	class, _ := sizeClass(size)
+	key := pairKey{a: a, b: b, class: class}
+	if ps, ok := r.cache[key]; ok {
+		return ps
+	}
+	var out []topology.Path
+	seen := map[string]bool{}
+	add := func(p topology.Path, okay bool) {
+		if !okay || !p.Valid() {
+			return
+		}
+		sig := pathSig(p)
+		if seen[sig] {
+			return
+		}
+		seen[sig] = true
+		out = append(out, p)
+	}
+	direct, ok := r.static.Route(a, b, size)
+	add(direct, ok)
+
+	// Detours: a -> switch -> b, for every switch, cheapest-first.
+	type detour struct {
+		p    topology.Path
+		cost float64
+	}
+	var ds []detour
+	for _, sw := range r.g.Switches() {
+		p1, ok1 := r.static.Route(a, sw, size)
+		p2, ok2 := r.static.Route(sw, b, size)
+		if !ok1 || !ok2 {
+			continue
+		}
+		joined, ok := joinPaths(p1, p2)
+		if !ok {
+			continue
+		}
+		ds = append(ds, detour{p: joined, cost: joined.TransferTime(r.g, size)})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].cost < ds[j].cost })
+	for _, d := range ds {
+		if len(out) >= r.maxCandidates {
+			break
+		}
+		add(d.p, true)
+	}
+	r.cache[key] = out
+	return out
+}
+
+// Route implements Router: the candidate with the coolest hottest link wins;
+// ties break to the earlier (shorter/cheaper) candidate.
+func (r *LoadAwareRouter) Route(a, b topology.NodeID, size int64) (topology.Path, bool) {
+	cands := r.candidates(a, b, size)
+	if len(cands) == 0 {
+		return topology.Path{}, false
+	}
+	if r.net == nil || len(cands) == 1 {
+		return cands[0], true
+	}
+	best := 0
+	bestHeat := pathHeat(r.net, cands[0])
+	for i := 1; i < len(cands); i++ {
+		if h := pathHeat(r.net, cands[i]); h < bestHeat-1e-9 {
+			best, bestHeat = i, h
+		}
+	}
+	return cands[best], true
+}
+
+// pathHeat is the maximum live utilization along the path.
+func pathHeat(net *netsim.Network, p topology.Path) float64 {
+	var worst float64
+	for _, eid := range p.Edges {
+		if u := net.EdgeUtilization(eid); u > worst {
+			worst = u
+		}
+	}
+	return worst
+}
+
+// pathSig fingerprints a path by its edge sequence.
+func pathSig(p topology.Path) string {
+	sig := make([]byte, 0, len(p.Edges)*3)
+	for _, e := range p.Edges {
+		sig = append(sig, byte(e), byte(e>>8), byte(e>>16))
+	}
+	return string(sig)
+}
+
+// joinPaths concatenates two paths sharing a middle node, rejecting joins
+// that revisit a node (loops waste bandwidth).
+func joinPaths(p1, p2 topology.Path) (topology.Path, bool) {
+	if !p1.Valid() || !p2.Valid() {
+		return topology.Path{}, false
+	}
+	if p1.Nodes[len(p1.Nodes)-1] != p2.Nodes[0] {
+		return topology.Path{}, false
+	}
+	seen := map[topology.NodeID]bool{}
+	for _, n := range p1.Nodes {
+		if seen[n] {
+			return topology.Path{}, false
+		}
+		seen[n] = true
+	}
+	for _, n := range p2.Nodes[1:] {
+		if seen[n] {
+			return topology.Path{}, false
+		}
+		seen[n] = true
+	}
+	out := topology.Path{
+		Nodes: append(append([]topology.NodeID{}, p1.Nodes...), p2.Nodes[1:]...),
+		Edges: append(append([]topology.EdgeID{}, p1.Edges...), p2.Edges...),
+	}
+	return out, true
+}
+
+var _ Router = (*LoadAwareRouter)(nil)

@@ -1,0 +1,153 @@
+// Package core is HeroServe itself: the façade that wires the
+// scalability-oriented offline planner (internal/planner), the load-aware
+// online scheduler (internal/scheduler), and the heterogeneous collectives
+// (internal/collective) into a runnable serving system. This is the package
+// examples and experiments use as "the system under test".
+package core
+
+import (
+	"heroserve/internal/collective"
+	"heroserve/internal/netsim"
+	"heroserve/internal/planner"
+	"heroserve/internal/scheduler"
+	"heroserve/internal/serving"
+	"heroserve/internal/topology"
+)
+
+// ControllerInterval is the period of the central controller's telemetry
+// refresh loop (the paper's gRPC control-plane update loop, §IV).
+const ControllerInterval = 0.05
+
+// maxSwitchCandidates bounds the INA switch alternatives per policy table.
+// One (the nearest) mirrors the paper's Fig. 5 table — a curated {INA, ring}
+// pair per group — and avoids flapping onto far aggregation points whose
+// longer paths the utilization-ratio cost J cannot see.
+const maxSwitchCandidates = 1
+
+// OnlinePolicy is HeroServe's communication policy: per tensor-parallel
+// group it lazily builds a policy cost table (ring, Ethernet INA, and
+// heterogeneous INA candidates over the nearest switches), selects the
+// cheapest policy per all-reduce (Eq. 16), applies the synchronized cost
+// updates (Eq. 17), and lets the central controller refresh costs and
+// penalties from live telemetry (Eq. 18).
+type OnlinePolicy struct {
+	cfg    scheduler.Config
+	tables map[serving.GroupID]*scheduler.Table
+	ctl    *scheduler.Controller
+	// Hetero can be disabled for ablations (Ethernet-only online choice).
+	Hetero bool
+}
+
+// NewOnlinePolicy returns the policy with the given scheduler config.
+func NewOnlinePolicy(cfg scheduler.Config) *OnlinePolicy {
+	return &OnlinePolicy{
+		cfg:    cfg,
+		tables: make(map[serving.GroupID]*scheduler.Table),
+		Hetero: true,
+	}
+}
+
+// Name implements serving.CommPolicy.
+func (p *OnlinePolicy) Name() string { return "HeroServe" }
+
+// Tables returns the number of group tables instantiated (telemetry).
+func (p *OnlinePolicy) Tables() int { return len(p.tables) }
+
+// SchemeSelections aggregates, per scheme, how many times any table selected
+// a policy of that scheme.
+func (p *OnlinePolicy) SchemeSelections() map[collective.Scheme]int64 {
+	out := make(map[collective.Scheme]int64)
+	for _, t := range p.tables {
+		sels := t.Selections()
+		for i, n := range sels {
+			out[t.Policies[i].Scheme] += n
+		}
+	}
+	return out
+}
+
+// table lazily builds the group's policy table and attaches it to the
+// controller, creating (and starting) the controller on first use.
+func (p *OnlinePolicy) table(ctx *serving.GroupCtx, msgBytes int64) *scheduler.Table {
+	if t, ok := p.tables[ctx.ID]; ok {
+		return t
+	}
+	g := ctx.Comm.Network().Graph()
+	policies := scheduler.BuildPolicies(g, ctx.Comm.Router(), ctx.Group, msgBytes, maxSwitchCandidates, p.Hetero)
+	if len(policies) == 0 {
+		// Unroutable ring would have paniced earlier in planning; synthesize
+		// a ring policy with no edges as a last resort.
+		policies = []scheduler.Policy{{Scheme: collective.SchemeRing, Switch: -1, Label: "ring"}}
+	}
+	t := scheduler.NewTable(g, ctx.Group, policies, p.cfg)
+	p.tables[ctx.ID] = t
+	if p.ctl == nil {
+		p.ctl = scheduler.NewController(ctx.Comm.Network(), ControllerInterval)
+	}
+	p.ctl.Register(t)
+	p.ctl.Start()
+	return t
+}
+
+// AllReduce implements serving.CommPolicy.
+func (p *OnlinePolicy) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps int, done func()) {
+	t := p.table(ctx, msgBytes)
+	idx := t.Select(msgBytes * int64(steps))
+	pol := t.Policies[idx]
+	sw := pol.Switch
+	scheme := pol.Scheme
+	if scheme.UsesINA() && sw < 0 {
+		scheme = collective.SchemeRing
+	}
+	ctx.Comm.AllReduce(scheme, ctx.Group, sw, msgBytes, steps, done)
+}
+
+var _ serving.CommPolicy = (*OnlinePolicy)(nil)
+
+// Plan runs HeroServe's offline planner: the full Alg. 1 + Alg. 2 search
+// with the heterogeneous scheme enabled.
+func Plan(in planner.Inputs) (*planner.Plan, error) {
+	in.Hetero = true
+	return planner.Solve(in)
+}
+
+// NewSystem plans (if plan is nil) and builds a HeroServe serving system:
+// the planned deployment plus the online policy. It returns the system, the
+// plan, and the policy (for telemetry).
+func NewSystem(in planner.Inputs, plan *planner.Plan, opts serving.Options) (*serving.System, *planner.Plan, *OnlinePolicy, error) {
+	if plan == nil {
+		var err error
+		plan, err = Plan(in)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	pol := NewOnlinePolicy(scheduler.DefaultConfig())
+	opts.Policy = pol
+	if opts.RouterFactory == nil {
+		// HeroServe also steers point-to-point transfers (KV migration,
+		// pipeline activations) onto the coolest candidate path (§III-D).
+		opts.RouterFactory = func(net *netsim.Network) collective.Router {
+			r := collective.NewLoadAwareRouter(in.Graph, 3)
+			r.Bind(net)
+			return r
+		}
+	}
+	sys, err := serving.New(in.Graph, plan.Deployment, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sys, plan, pol, nil
+}
+
+// DefaultInputs assembles planner inputs for a graph whose first
+// prefillServers servers form the prefill pool, with the given workload
+// statistics, arrival rate, and SLA — the common setup of the experiments.
+func DefaultInputs(g *topology.Graph, prefillServers int, m planner.Inputs) planner.Inputs {
+	pre, dec := planner.SplitPoolsByServer(g, prefillServers)
+	m.Graph = g
+	m.PrefillGPUs = pre
+	m.DecodeGPUs = dec
+	m.Hetero = true
+	return m
+}

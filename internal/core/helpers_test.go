@@ -1,0 +1,15 @@
+package core
+
+import (
+	"heroserve/internal/collective"
+	"heroserve/internal/netsim"
+	"heroserve/internal/sim"
+	"heroserve/internal/topology"
+)
+
+// newNet wires a fresh engine + network + collective executor over g.
+func newNet(g *topology.Graph) (*sim.Engine, *netsim.Network, *collective.Comm) {
+	eng := sim.NewEngine()
+	net := netsim.New(g, eng)
+	return eng, net, collective.NewComm(net, collective.NewStaticRouter(g))
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import "testing"
+
+func TestExtPCIeShape(t *testing.T) {
+	rep, err := ExtPCIe(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 || len(rep.Tables[0].Rows) != 3 {
+		t.Fatalf("unexpected report shape: %+v", rep.Tables)
+	}
+	// Each row's "sim gain" column must be a positive percentage: the
+	// NUMA-aware variant always wins on PCIe servers.
+	for _, row := range rep.Tables[0].Rows {
+		gain := row[len(row)-1]
+		if len(gain) == 0 || gain[0] == '-' {
+			t.Errorf("non-positive NUMA gain %q in row %v", gain, row)
+		}
+	}
+}
+
+func TestExtScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving runs under -short")
+	}
+	data, err := ExtScaleData(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 3 {
+		t.Fatalf("modes = %d", len(data))
+	}
+	byMode := map[string]ExtScaleResult{}
+	for _, d := range data {
+		byMode[d.Mode] = d
+	}
+	s1, s3, auto := byMode["static-1"], byMode["static-3"], byMode["autoscaled"]
+	// The burst must hurt the static-minimal deployment.
+	if s1.Attainment >= s3.Attainment {
+		t.Errorf("static-1 attainment %.2f not below static-3 %.2f (burst too weak)", s1.Attainment, s3.Attainment)
+	}
+	// The autoscaler approaches full-fleet attainment...
+	if auto.Attainment < s3.Attainment-0.05 {
+		t.Errorf("autoscaled attainment %.2f well below static-3 %.2f", auto.Attainment, s3.Attainment)
+	}
+	// ...at well below full-fleet cost.
+	if auto.ActiveGPUSeconds >= s3.ActiveGPUSeconds*0.8 {
+		t.Errorf("autoscaled GPU-seconds %.0f not clearly below static-3 %.0f",
+			auto.ActiveGPUSeconds, s3.ActiveGPUSeconds)
+	}
+	if auto.ScaleEvents == 0 {
+		t.Error("autoscaler never acted")
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving runs under -short")
+	}
+	data, err := AblationData(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := map[string]AblationResult{}
+	for _, d := range data {
+		byVariant[d.Variant] = d
+	}
+	full := byVariant["online scheduler (full)"]
+	ring := byVariant["forced always-ring"]
+	eth := byVariant["ethernet-only policies"]
+	if full.MeanTPOT >= ring.MeanTPOT {
+		t.Errorf("full scheduler TPOT %.4f not below always-ring %.4f", full.MeanTPOT, ring.MeanTPOT)
+	}
+	if full.MeanTPOT >= eth.MeanTPOT {
+		t.Errorf("full scheduler TPOT %.4f not below ethernet-only %.4f", full.MeanTPOT, eth.MeanTPOT)
+	}
+}

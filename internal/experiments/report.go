@@ -1,0 +1,170 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) on the simulated substrate: Fig. 1 (prefill cost
+// breakdown), Fig. 2 (homogeneous vs heterogeneous INA delay), Fig. 7
+// (testbed scalability and latency, OPT-66B), Fig. 8 (pod-scale scalability,
+// OPT-175B, 2tracks/8tracks), Fig. 9 (in-network aggregation throughput vs
+// message size), Fig. 10 (KV-cache memory efficiency), and the §III-C
+// planner claims. Each experiment returns a structured Report consumed by
+// cmd/heroserve, the root benchmarks, and the shape-asserting tests.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable result table (one per figure panel).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "## %s\n", t.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// FprintCSV renders the table as CSV with a leading title comment.
+func (t *Table) FprintCSV(w io.Writer) error {
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	fmt.Fprintln(w)
+	return cw.Error()
+}
+
+// Report is one experiment's output.
+type Report struct {
+	Name   string
+	Tables []*Table
+	Notes  []string
+}
+
+// AddTable appends and returns a new table.
+func (r *Report) AddTable(title string, columns ...string) *Table {
+	t := &Table{Title: title, Columns: columns}
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// AddNote appends a free-text note.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the full report.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n\n", r.Name)
+	for _, t := range r.Tables {
+		t.Fprint(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+	}
+}
+
+// FprintCSV renders every table of the report as CSV (notes become
+// comments), for downstream plotting.
+func (r *Report) FprintCSV(w io.Writer) error {
+	fmt.Fprintf(w, "# %s\n", r.Name)
+	for _, t := range r.Tables {
+		if err := t.FprintCSV(w); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "# note: %s\n", n)
+	}
+	return nil
+}
+
+// Scale controls experiment sizing: Quick keeps every run in test/bench
+// budgets; Full sizes runs closer to the paper's sweeps.
+type Scale uint8
+
+const (
+	// Quick is the CI-sized configuration.
+	Quick Scale = iota
+	// Full widens sweeps and traces.
+	Full
+)
+
+func (s Scale) String() string {
+	if s == Quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// fmtF formats a float with 4 significant-ish decimals.
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// fmtPct formats a ratio as a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// fmtUS formats a duration in seconds as microseconds.
+func fmtUS(v float64) string { return fmt.Sprintf("%.1f us", v*1e6) }
+
+// byteSize renders a byte count in binary units.
+func byteSize(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%dGiB", b>>30)
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMiB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKiB", b>>10)
+	}
+	return fmt.Sprintf("%dB", b)
+}

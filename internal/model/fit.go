@@ -1,0 +1,76 @@
+package model
+
+import (
+	"errors"
+	"math"
+)
+
+// LeastSquares solves min ||A x - b||_2 via the normal equations with
+// Gaussian elimination and partial pivoting. A is given row-major: rows
+// observations, cols features. It returns an error when the system is
+// (numerically) singular, which for our profiling grids indicates a
+// degenerate feature set.
+func LeastSquares(rows [][]float64, b []float64) ([]float64, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("model: no observations")
+	}
+	n := len(rows[0])
+	if n == 0 {
+		return nil, errors.New("model: no features")
+	}
+	if len(b) != len(rows) {
+		return nil, errors.New("model: rows/targets length mismatch")
+	}
+	for _, r := range rows {
+		if len(r) != n {
+			return nil, errors.New("model: ragged feature matrix")
+		}
+	}
+
+	// Normal equations: M = A^T A (n x n), v = A^T b.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+	}
+	for r, row := range rows {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m[i][j] += row[i] * row[j]
+			}
+			m[i][n] += row[i] * b[r]
+		}
+	}
+
+	// Gaussian elimination with partial pivoting on the augmented matrix.
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-30 {
+			return nil, errors.New("model: singular normal equations")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := 1 / m[col][col]
+		for j := col; j <= n; j++ {
+			m[col][j] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col]
+			for j := col; j <= n; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = m[i][n]
+	}
+	return x, nil
+}

@@ -1,0 +1,108 @@
+package model
+
+import "fmt"
+
+// GPUSpec describes an accelerator's roofline: peak FP16 tensor throughput,
+// HBM bandwidth, and an achievable-fraction derating. These stand in for the
+// paper's physical A100/V100/L40 GPUs; the cost-model constants C1..C6 are
+// fitted against the roofline exactly as the paper fits them against
+// hardware profiles.
+type GPUSpec struct {
+	Name        string
+	PeakFLOPS   float64 // FP16 tensor FLOP/s
+	MemBW       float64 // HBM bytes/s
+	MemoryBytes int64
+	Efficiency  float64 // achievable fraction of peak in large GEMMs
+}
+
+// A100 returns the spec of an NVIDIA A100-40GB.
+func A100() GPUSpec {
+	return GPUSpec{Name: "A100", PeakFLOPS: 312e12, MemBW: 1555e9, MemoryBytes: 40 << 30, Efficiency: 0.62}
+}
+
+// V100 returns the spec of an NVIDIA V100-32GB.
+func V100() GPUSpec {
+	return GPUSpec{Name: "V100", PeakFLOPS: 125e12, MemBW: 900e9, MemoryBytes: 32 << 30, Efficiency: 0.55}
+}
+
+// L40 returns the spec of an NVIDIA L40-48GB (Fig. 1's second test GPU).
+func L40() GPUSpec {
+	return GPUSpec{Name: "L40", PeakFLOPS: 181e12, MemBW: 864e9, MemoryBytes: 48 << 30, Efficiency: 0.58}
+}
+
+// RTX2080Ti returns the spec of the simulation host's GPU (§V, simulation
+// settings) — included for completeness.
+func RTX2080Ti() GPUSpec {
+	return GPUSpec{Name: "RTX2080Ti", PeakFLOPS: 26.9e12, MemBW: 616e9, MemoryBytes: 11 << 30, Efficiency: 0.5}
+}
+
+// GPUByName resolves a spec from the topology's GPUType strings.
+func GPUByName(name string) (GPUSpec, error) {
+	switch name {
+	case "A100":
+		return A100(), nil
+	case "V100":
+		return V100(), nil
+	case "L40":
+		return L40(), nil
+	case "RTX2080Ti":
+		return RTX2080Ti(), nil
+	}
+	return GPUSpec{}, fmt.Errorf("model: unknown GPU type %q", name)
+}
+
+// effFLOPS returns the achievable FLOP/s.
+func (g GPUSpec) effFLOPS() float64 { return g.PeakFLOPS * g.Efficiency }
+
+// Roofline "ground truth" used by the profiler. The shapes follow the same
+// structural decomposition as Eq. 12–13 (that is what makes the linear fit
+// work, exactly as on real hardware), with a fixed per-iteration overhead
+// standing in for Python runtime and kernel-launch noise (C3/C6).
+const (
+	prefillOverhead = 8e-3 // seconds per prefill pass (framework overhead)
+	decodeOverhead  = 2e-3 // seconds per decode iteration
+	pipelineBubble  = 1e-3 // seconds per extra pipeline stage per iteration
+)
+
+// MeasurePrefill returns the simulated "measured" latency of a full prefill
+// forward pass over all layers for a batch with kin total input tokens and
+// kin2 the squared sum of per-request input lengths, sharded over ptens
+// tensor-parallel GPUs. Prefill is compute-bound: GEMM time plus the
+// quadratic attention term.
+func (g GPUSpec) MeasurePrefill(c Config, kin, kin2 int64, ptens int) float64 {
+	if ptens <= 0 {
+		panic("model: ptens must be positive")
+	}
+	l := float64(c.Layers)
+	h := float64(c.Hidden)
+	m := float64(c.FFN)
+	// GEMMs: 2 FLOPs per MAC; per layer (4h^2 + 2hm) MACs per token.
+	gemmFLOPs := 2 * l * (4*h*h + 2*h*m) * float64(kin)
+	// Attention: score+value MACs ~ 2*h per token pair; 3h*Kin2 matches the
+	// paper's feature with the block-size divisor folded into the constant.
+	attnFLOPs := 2 * l * 3 * h * float64(kin2) / float64(c.BlockSize)
+	return (gemmFLOPs+attnFLOPs)/(float64(ptens)*g.effFLOPS()) + prefillOverhead
+}
+
+// MeasureDecode returns the simulated "measured" latency of one decode
+// iteration (one token per sequence) for a batch whose KV history totals kin
+// tokens, sharded over ptens x ppipe GPUs. Decode is memory-bound: every
+// iteration streams the weight shard and the KV-cache shard from HBM.
+func (g GPUSpec) MeasureDecode(c Config, kin int64, ptens, ppipe int) float64 {
+	if ptens <= 0 || ppipe <= 0 {
+		panic("model: parallelism must be positive")
+	}
+	l := float64(c.Layers)
+	h := float64(c.Hidden)
+	m := float64(c.FFN)
+	// Weight streaming: per-layer (4h^2 + 2hm) params at FP16.
+	weightBytes := l * (4*h*h + 2*h*m) * BytesPerParam
+	// KV streaming: 3h per cached token (K, V reads + V-weighted write) at
+	// FP16, matching the 3*h*K_in feature of Eq. 13.
+	kvBytes := l * 3 * h * float64(kin) * BytesPerParam
+	shard := float64(ptens * ppipe)
+	t := (weightBytes+kvBytes)/(shard*g.MemBW) + decodeOverhead
+	// Pipeline fill bubble (C6 in Eq. 13).
+	t += float64(ppipe-1) * pipelineBubble
+	return t
+}

@@ -1,0 +1,319 @@
+// Package netsim is a flow-level simulator of the heterogeneous cluster
+// network. Concurrent transfers ("flows") traverse paths from the topology
+// graph and share every link max-min fairly; whenever a flow starts or
+// finishes, all rates are recomputed by progressive water-filling and the
+// flows' completion events are rescheduled on the discrete-event engine.
+//
+// This is the substrate that makes the paper's congestion arguments
+// observable: bursty traffic on 100 GbE drags down in-network aggregation
+// throughput (the ~78% degradation cited in §I), while HeroServe's
+// heterogeneous scheduling shifts load onto NVLink and recovers it. The
+// simulator also exposes the per-link telemetry the paper's agents poll
+// (hardware byte counters, current utilization) to drive the online
+// scheduler.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"heroserve/internal/sim"
+	"heroserve/internal/topology"
+)
+
+// FlowID identifies a flow within one Network.
+type FlowID int64
+
+// Flow is an in-flight transfer along a fixed path.
+type Flow struct {
+	ID    FlowID
+	Path  topology.Path
+	Size  int64 // bytes
+	Start sim.Time
+
+	remaining float64 // bytes left to serialize
+	rate      float64 // current max-min rate, bytes/s
+	lastT     sim.Time
+	latency   float64 // fixed path latency, applied after serialization
+	done      func(*Flow)
+	finish    *sim.Event
+	net       *Network
+	cancelled bool
+}
+
+// Rate returns the flow's current max-min fair rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes not yet serialized.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Network simulates flows over a topology graph.
+type Network struct {
+	g   *topology.Graph
+	eng *sim.Engine
+
+	flows     map[FlowID]*Flow
+	linkFlows [][]FlowID // edge id -> active flow ids
+	nextID    FlowID
+
+	// Telemetry, indexed by edge id.
+	bytesCarried []float64 // cumulative, the "hardware counters" of §IV
+	lastCharge   sim.Time
+}
+
+// New returns a Network over g driven by eng.
+func New(g *topology.Graph, eng *sim.Engine) *Network {
+	return &Network{
+		g:            g,
+		eng:          eng,
+		flows:        make(map[FlowID]*Flow),
+		linkFlows:    make([][]FlowID, g.NumEdges()),
+		bytesCarried: make([]float64, g.NumEdges()),
+	}
+}
+
+// Graph returns the underlying topology graph.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// Engine returns the driving event engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// StartFlow begins transferring size bytes along path. done (may be nil) runs
+// when the last byte has crossed the last hop. A path with no edges (source
+// == destination) completes after zero simulated time. The returned Flow can
+// be cancelled with CancelFlow.
+func (n *Network) StartFlow(path topology.Path, size int64, done func(*Flow)) *Flow {
+	if size < 0 {
+		panic(fmt.Sprintf("netsim: negative flow size %d", size))
+	}
+	f := &Flow{
+		ID:        n.nextID,
+		Path:      path,
+		Size:      size,
+		Start:     n.eng.Now(),
+		remaining: float64(size),
+		lastT:     n.eng.Now(),
+		done:      done,
+	}
+	n.nextID++
+	for _, eid := range path.Edges {
+		f.latency += n.g.Edge(eid).Latency
+	}
+	f.net = n
+
+	if len(path.Edges) == 0 || size == 0 {
+		// Nothing to serialize: deliver after the fixed latency only.
+		n.eng.After(f.latency, func() { n.complete(f) })
+		return f
+	}
+
+	n.charge()
+	n.flows[f.ID] = f
+	for _, eid := range path.Edges {
+		n.linkFlows[eid] = append(n.linkFlows[eid], f.ID)
+	}
+	n.reallocate()
+	return f
+}
+
+// CancelFlow aborts f without running its completion callback. Cancelling a
+// finished or already-cancelled flow is a no-op.
+func (n *Network) CancelFlow(f *Flow) {
+	if f == nil || f.cancelled {
+		return
+	}
+	if _, active := n.flows[f.ID]; !active {
+		f.cancelled = true
+		return
+	}
+	f.cancelled = true
+	n.charge()
+	n.remove(f)
+	n.reallocate()
+}
+
+// complete finishes a zero-edge flow or a flow whose serialization event
+// fired.
+func (n *Network) complete(f *Flow) {
+	if f.cancelled {
+		return
+	}
+	if f.done != nil {
+		f.done(f)
+	}
+}
+
+// remove detaches f from the active sets.
+func (n *Network) remove(f *Flow) {
+	delete(n.flows, f.ID)
+	for _, eid := range f.Path.Edges {
+		lf := n.linkFlows[eid]
+		for i, id := range lf {
+			if id == f.ID {
+				lf[i] = lf[len(lf)-1]
+				n.linkFlows[eid] = lf[:len(lf)-1]
+				break
+			}
+		}
+	}
+	if f.finish != nil {
+		n.eng.Cancel(f.finish)
+		f.finish = nil
+	}
+}
+
+// charge advances every active flow's progress to the current instant at its
+// last computed rate, and accrues link byte counters.
+func (n *Network) charge() {
+	now := n.eng.Now()
+	dt := now - n.lastCharge
+	n.lastCharge = now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range n.flows {
+		moved := f.rate * (now - f.lastT)
+		f.remaining -= moved
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		f.lastT = now
+		for _, eid := range f.Path.Edges {
+			n.bytesCarried[eid] += moved
+		}
+	}
+}
+
+// reallocate recomputes all flow rates by progressive water-filling
+// (max-min fairness) and reschedules completion events.
+func (n *Network) reallocate() {
+	if len(n.flows) == 0 {
+		return
+	}
+	// Remaining capacity per link and unfrozen flow count per link.
+	capLeft := make(map[topology.EdgeID]float64)
+	count := make(map[topology.EdgeID]int)
+	for eid, fl := range n.linkFlows {
+		if len(fl) == 0 {
+			continue
+		}
+		capLeft[topology.EdgeID(eid)] = n.g.Edge(topology.EdgeID(eid)).Capacity
+		count[topology.EdgeID(eid)] = len(fl)
+	}
+	frozen := make(map[FlowID]bool, len(n.flows))
+
+	for len(frozen) < len(n.flows) {
+		// Find the most constrained link: min fair share among links that
+		// still carry unfrozen flows.
+		bestShare := math.Inf(1)
+		bestLink := topology.EdgeID(-1)
+		for eid, c := range count {
+			if c == 0 {
+				continue
+			}
+			share := capLeft[eid] / float64(c)
+			if share < bestShare {
+				bestShare = share
+				bestLink = eid
+			}
+		}
+		if bestLink < 0 {
+			// No constrained links left (all remaining flows are zero-edge,
+			// which cannot happen here) — freeze the rest at infinity guard.
+			break
+		}
+		// Freeze every unfrozen flow on the bottleneck link at the share.
+		for _, fid := range n.linkFlows[bestLink] {
+			if frozen[fid] {
+				continue
+			}
+			f := n.flows[fid]
+			frozen[fid] = true
+			f.rate = bestShare
+			for _, eid := range f.Path.Edges {
+				capLeft[eid] -= bestShare
+				if capLeft[eid] < 0 {
+					capLeft[eid] = 0
+				}
+				count[eid]--
+			}
+		}
+	}
+
+	now := n.eng.Now()
+	for _, f := range n.flows {
+		if f.finish != nil {
+			n.eng.Cancel(f.finish)
+			f.finish = nil
+		}
+		if f.rate <= 0 {
+			continue // stalled: no event until capacity frees up
+		}
+		eta := f.remaining / f.rate
+		fl := f
+		f.finish = n.eng.Schedule(now+eta, func() { n.finishFlow(fl) })
+	}
+}
+
+// finishFlow handles a serialization-complete event: account the final
+// progress, detach the flow, rebalance, and deliver the payload after the
+// path's fixed latency.
+func (n *Network) finishFlow(f *Flow) {
+	n.charge()
+	f.remaining = 0
+	f.finish = nil
+	n.remove(f)
+	n.reallocate()
+	if f.latency > 0 {
+		n.eng.After(f.latency, func() { n.complete(f) })
+	} else {
+		n.complete(f)
+	}
+}
+
+// EdgeRate returns the instantaneous sum of flow rates on the edge, in
+// bytes/second.
+func (n *Network) EdgeRate(eid topology.EdgeID) float64 {
+	var sum float64
+	for _, fid := range n.linkFlows[eid] {
+		sum += n.flows[fid].rate
+	}
+	return sum
+}
+
+// EdgeUtilization returns the instantaneous utilization of the edge in
+// [0, 1]: the paper's monitored bandwidth-utilization ratio B(e*)/C(e).
+func (n *Network) EdgeUtilization(eid topology.EdgeID) float64 {
+	return n.EdgeRate(eid) / n.g.Edge(eid).Capacity
+}
+
+// AvailableBW returns the edge capacity minus the current flow rates — the
+// live counterpart of the topology's static Available field.
+func (n *Network) AvailableBW(eid topology.EdgeID) float64 {
+	avail := n.g.Edge(eid).Capacity - n.EdgeRate(eid)
+	if avail < 0 {
+		return 0
+	}
+	return avail
+}
+
+// BytesCarried returns the cumulative bytes the edge has carried: the
+// simulated equivalent of the switch hardware counters polled by the control
+// plane (§IV). Progress is charged lazily; the value is exact as of the last
+// flow event and slightly stale between events.
+func (n *Network) BytesCarried(eid topology.EdgeID) float64 {
+	return n.bytesCarried[eid]
+}
+
+// SyncAvailable copies the live available bandwidth of every edge into the
+// topology graph's Available fields, so that planner-style computations on
+// the graph see current load. Call it from a periodic monitor event.
+func (n *Network) SyncAvailable() {
+	for i := 0; i < n.g.NumEdges(); i++ {
+		eid := topology.EdgeID(i)
+		n.g.Edge(eid).Available = n.AvailableBW(eid)
+	}
+}

@@ -1,0 +1,168 @@
+// Package planner implements the scalability-oriented offline planner of
+// paper §III-C (Algorithms 1 and 2). Given the cluster topology, the model,
+// workload token statistics, the arrival rate, and the latency SLAs
+// (Table I), it searches parallelism configurations (P_tens, P_pipe for both
+// the prefill and decode clusters), places GPU groups with a constrained
+// clustering of the offline latency matrix, selects per-group aggregation
+// switches and communication schemes (INA vs ring vs heterogeneous INA), and
+// returns the deployment maximizing scalability H = 1/T_req under the SLA
+// constraints (Table II).
+package planner
+
+import (
+	"fmt"
+
+	"heroserve/internal/model"
+	"heroserve/internal/serving"
+	"heroserve/internal/topology"
+	"heroserve/internal/workload"
+)
+
+// DefaultRFrac is the fraction of a GPU's memory the planner may fill with
+// weights, reserving the rest for KV cache and activations (Alg. 1's
+// R_frac).
+const DefaultRFrac = 0.8
+
+// DefaultMaxCandidates is the paper's max_candi: "setting max_candi = twenty
+// usually yields near-optimal solutions" (§III-C3).
+const DefaultMaxCandidates = 20
+
+// Inputs are the planner inputs of Table I.
+type Inputs struct {
+	Model model.Config
+	Graph *topology.Graph
+
+	// PrefillGPUs and DecodeGPUs are the disaggregated pools V_g^p / V_g^d.
+	PrefillGPUs []topology.NodeID
+	DecodeGPUs  []topology.NodeID
+
+	// Workload is the representative batch statistics (Q, K_in, K_in2,
+	// K_out).
+	Workload workload.Stats
+	// Lambda is the request arrival rate in requests/second.
+	Lambda float64
+	// SLA holds T_sla^pre (TTFT) and T_sla^dec (TPOT).
+	SLA serving.SLA
+
+	// RFrac is the usable weight-memory fraction (default DefaultRFrac).
+	RFrac float64
+	// MaxCandidates caps the P_all configurations examined (default 20).
+	MaxCandidates int
+	// Hetero permits the heterogeneous INA scheme (HeroServe). Baseline
+	// planners disable it.
+	Hetero bool
+	// MaxPerturbIters bounds the random-swap refinement of Alg. 2 (default
+	// 5, the paper's observed convergence point).
+	MaxPerturbIters int
+	// MinTensDecode floors the decode cluster's tensor-parallel degree.
+	// The paper's evaluation regime is cross-server parallelization (§II-B:
+	// instances span servers to pool memory for many users' KV caches;
+	// Fig. 1 measures that regime) — setting this above the per-server GPU
+	// count forces every evaluated system into it, so the systems differ in
+	// communication scheduling rather than in whether they communicate.
+	MinTensDecode int
+	// MaxDecodeBatch caps the decode concurrency assumed by the
+	// scalability objective (matches serving.Options.MaxDecodeBatch;
+	// default 64).
+	MaxDecodeBatch int
+	// Seed drives the deterministic pseudo-random perturbations.
+	Seed int64
+	// Trace, when non-nil, receives every candidate's evaluation (for
+	// debugging and the planner CLI's -v mode).
+	Trace func(c Candidate, h float64, reason string)
+}
+
+func (in *Inputs) setDefaults() {
+	if in.RFrac == 0 {
+		in.RFrac = DefaultRFrac
+	}
+	if in.MaxCandidates == 0 {
+		in.MaxCandidates = DefaultMaxCandidates
+	}
+	if in.MaxPerturbIters == 0 {
+		in.MaxPerturbIters = 5
+	}
+	if in.MaxDecodeBatch == 0 {
+		in.MaxDecodeBatch = 64
+	}
+}
+
+// Validate rejects structurally impossible inputs.
+func (in *Inputs) Validate() error {
+	if err := in.Model.Validate(); err != nil {
+		return err
+	}
+	if in.Graph == nil {
+		return fmt.Errorf("planner: nil graph")
+	}
+	if len(in.PrefillGPUs) == 0 || len(in.DecodeGPUs) == 0 {
+		return fmt.Errorf("planner: empty prefill or decode GPU pool")
+	}
+	if in.Lambda <= 0 {
+		return fmt.Errorf("planner: arrival rate %g must be positive", in.Lambda)
+	}
+	if in.Workload.Q <= 0 || in.Workload.Kin <= 0 {
+		return fmt.Errorf("planner: workload stats missing")
+	}
+	if in.SLA.TTFT <= 0 || in.SLA.TPOT <= 0 {
+		return fmt.Errorf("planner: SLA thresholds must be positive")
+	}
+	if in.RFrac <= 0 || in.RFrac > 1 {
+		return fmt.Errorf("planner: RFrac %g outside (0,1]", in.RFrac)
+	}
+	return nil
+}
+
+// SplitPoolsByServer partitions the graph's GPU servers into a prefill pool
+// (the first prefillServers servers) and a decode pool (the rest) — the
+// paper's disaggregated clusters. The testbed assigns the compute-rich A100
+// servers to prefill (compute-bound) and the rest to decode.
+func SplitPoolsByServer(g *topology.Graph, prefillServers int) (prefill, decode []topology.NodeID) {
+	for s := 0; s < g.NumServers(); s++ {
+		if s < prefillServers {
+			prefill = append(prefill, g.ServerGPUs(s)...)
+		} else {
+			decode = append(decode, g.ServerGPUs(s)...)
+		}
+	}
+	return prefill, decode
+}
+
+// Candidate is one P_all configuration (Table II's parallel parameters).
+type Candidate struct {
+	PtensP, PpipeP int
+	PtensD, PpipeD int
+}
+
+func (c Candidate) String() string {
+	return fmt.Sprintf("pre=%dx%d dec=%dx%d", c.PtensP, c.PpipeP, c.PtensD, c.PpipeD)
+}
+
+// clusterEstimate is the outcome of one cluster's (prefill or decode)
+// placement + latency estimation.
+type clusterEstimate struct {
+	feasible  bool
+	reason    string
+	instances []serving.InstanceSpec
+	// tn is the per-forward-pass synchronization latency (Eq. 5), tc the
+	// computation latency; for decode both are per output token.
+	tn, tc float64
+	// schemes/switches chosen per stage of the first instance (all replicas
+	// share the layout decisions).
+	iterations int // perturbation iterations used
+}
+
+// Plan is the planner output (Table II) plus the estimates that selected it.
+type Plan struct {
+	Candidate  Candidate
+	Deployment serving.Deployment
+
+	// Estimates backing the selection.
+	Tpre, Tdec, Tf, Tqueue, Tserve float64
+	// H is the scalability objective (Eq. 1).
+	H float64
+
+	// Search telemetry.
+	CandidatesTried   int
+	PerturbIterations int
+}

@@ -1,0 +1,127 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"heroserve/internal/topology"
+)
+
+// DistTable models the paper's deployment of the policy cost table more
+// literally than Table does: Fig. 5 stores a *replica* of the table on every
+// GPU agent, selections happen against the agent's local (possibly stale)
+// replica, each selection is reported to the central controller, and the
+// controller periodically "instructs all GPUs to update their policy cost
+// tables synchronously according to Equation 17". Between synchronizations
+// the replicas drift — the fidelity cost of a distributed control plane that
+// the single canonical Table abstracts away.
+//
+// The canonical Table remains the source of truth the controller maintains;
+// DistTable layers per-agent cost replicas and a pending-update queue on
+// top.
+type DistTable struct {
+	*Table
+
+	// replicas[agent][policy] is the agent's local view of b_c.
+	replicas map[topology.NodeID][]float64
+	// pending accumulates Eq. 17 deltas reported since the last sync.
+	pending []float64
+	// telemetry
+	syncs      int64
+	selections int64
+}
+
+// NewDistTable builds the distributed view over a canonical table, with one
+// replica per group member.
+func NewDistTable(t *Table) *DistTable {
+	d := &DistTable{
+		Table:    t,
+		replicas: make(map[topology.NodeID][]float64, len(t.Group)),
+		pending:  make([]float64, len(t.Policies)),
+	}
+	for _, gpu := range t.Group {
+		d.replicas[gpu] = make([]float64, len(t.Policies))
+	}
+	return d
+}
+
+// SelectAt performs Eq. 16 against the agent's local replica: the agent
+// picks the policy minimizing its local J, applies the Eq. 17 update
+// locally (its own view must reflect its own traffic immediately), and
+// reports the delta to the controller for the next synchronous broadcast.
+// Unknown agents panic: only group members hold replicas.
+func (d *DistTable) SelectAt(agent topology.NodeID, size int64) int {
+	local, ok := d.replicas[agent]
+	if !ok {
+		panic(fmt.Sprintf("scheduler: agent %d is not a member of the group", agent))
+	}
+	best := 0
+	bestJ := local[0] + d.delta(0, size)
+	for i := 1; i < len(d.Policies); i++ {
+		if j := local[i] + d.delta(i, size); j < bestJ {
+			best, bestJ = i, j
+		}
+	}
+	dl := d.delta(best, size)
+	for i := range d.Policies {
+		upd := dl
+		if i != best {
+			upd = dl * d.penalty[best][i]
+		}
+		local[i] += upd
+		d.pending[i] += upd
+	}
+	d.selections++
+	return best
+}
+
+// Sync is the controller's synchronous table update: fold the reported
+// deltas into the canonical costs, then overwrite every replica with the
+// canonical view (all GPUs end the round consistent, per §III-D).
+func (d *DistTable) Sync() {
+	for i := range d.cost {
+		d.cost[i] += d.pending[i]
+		d.pending[i] = 0
+	}
+	for _, local := range d.replicas {
+		copy(local, d.cost)
+	}
+	d.syncs++
+}
+
+// RefreshAndSync re-anchors the canonical costs to live telemetry (like
+// Table.RefreshCost), drops stale pending deltas, and broadcasts.
+func (d *DistTable) RefreshAndSync(util func(topology.EdgeID) float64) {
+	d.RefreshCost(util)
+	for i := range d.pending {
+		d.pending[i] = 0
+	}
+	for _, local := range d.replicas {
+		copy(local, d.cost)
+	}
+	d.syncs++
+}
+
+// Drift returns the maximum absolute divergence between any agent's replica
+// and the post-sync canonical state (cost + pending): zero right after a
+// Sync, growing as agents select against stale replicas.
+func (d *DistTable) Drift() float64 {
+	var worst float64
+	for _, local := range d.replicas {
+		for i, v := range local {
+			diff := v - (d.cost[i] + d.pending[i])
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > worst {
+				worst = diff
+			}
+		}
+	}
+	return worst
+}
+
+// Syncs returns the number of synchronization rounds performed.
+func (d *DistTable) Syncs() int64 { return d.syncs }
+
+// AgentSelections returns the total SelectAt calls.
+func (d *DistTable) AgentSelections() int64 { return d.selections }

@@ -1,0 +1,133 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"heroserve/internal/topology"
+)
+
+func newDist(t *testing.T) (*DistTable, []topology.NodeID) {
+	t.Helper()
+	g, group, policies := twoPathGraph()
+	tb := NewTable(g, group, policies, DefaultConfig())
+	return NewDistTable(tb), group
+}
+
+func TestDistSelectUpdatesLocalAndPending(t *testing.T) {
+	d, group := newDist(t)
+	idx := d.SelectAt(group[0], 10<<20)
+	// The selecting agent's replica moved; the other agent's did not.
+	if d.replicas[group[0]][idx] <= 0 {
+		t.Error("selecting agent's replica unchanged")
+	}
+	if d.replicas[group[1]][idx] != 0 {
+		t.Error("non-selecting agent's replica changed before sync")
+	}
+	// Canonical lags until Sync.
+	if d.Cost(idx) != 0 {
+		t.Error("canonical cost changed before sync")
+	}
+	if d.Drift() <= 0 {
+		t.Error("no drift despite unsynchronized selection")
+	}
+	d.Sync()
+	if d.Drift() != 0 {
+		t.Errorf("drift %g after sync", d.Drift())
+	}
+	if d.Cost(idx) <= 0 {
+		t.Error("canonical cost not folded in by sync")
+	}
+	if d.replicas[group[1]][idx] != d.Cost(idx) {
+		t.Error("replica not broadcast")
+	}
+	if d.Syncs() != 1 || d.AgentSelections() != 1 {
+		t.Error("telemetry wrong")
+	}
+}
+
+func TestDistStaleReplicasCollide(t *testing.T) {
+	// Without synchronization, both agents keep picking the same policy
+	// (each is blind to the other's load); with per-selection sync they
+	// alternate like the canonical table.
+	d, group := newDist(t)
+	same := 0
+	for i := 0; i < 10; i++ {
+		a := d.SelectAt(group[0], 1<<20)
+		b := d.SelectAt(group[1], 1<<20)
+		if a == b {
+			same++
+		}
+	}
+	if same != 10 {
+		t.Errorf("stale replicas agreed %d/10 times, want 10 (both blind)", same)
+	}
+
+	d2, group2 := newDist(t)
+	diff := 0
+	for i := 0; i < 10; i++ {
+		a := d2.SelectAt(group2[0], 1<<20)
+		d2.Sync()
+		b := d2.SelectAt(group2[1], 1<<20)
+		d2.Sync()
+		if a != b {
+			diff++
+		}
+	}
+	if diff != 10 {
+		t.Errorf("synced agents alternated %d/10 times, want 10", diff)
+	}
+}
+
+func TestDistSyncMatchesCanonicalTable(t *testing.T) {
+	// One agent selecting with a sync after every call reproduces the
+	// canonical Table's trajectory exactly.
+	g, group, policies := twoPathGraph()
+	canon := NewTable(g, group, policies, DefaultConfig())
+	dist := NewDistTable(NewTable(g, group, policies, DefaultConfig()))
+	for i := 0; i < 50; i++ {
+		size := int64(1+i) << 14
+		a := canon.Select(size)
+		b := dist.SelectAt(group[0], size)
+		dist.Sync()
+		if a != b {
+			t.Fatalf("step %d: canonical chose %d, distributed chose %d", i, a, b)
+		}
+		for p := range policies {
+			if math.Abs(canon.Cost(p)-dist.Cost(p)) > 1e-12 {
+				t.Fatalf("step %d: costs diverged", i)
+			}
+		}
+	}
+}
+
+func TestDistRefreshAndSync(t *testing.T) {
+	d, group := newDist(t)
+	d.SelectAt(group[0], 50<<20)
+	d.RefreshAndSync(func(e topology.EdgeID) float64 {
+		if e == d.Policies[1].Edges[0] {
+			return 0.7
+		}
+		return 0.1
+	})
+	if d.Drift() != 0 {
+		t.Error("drift after refresh+sync")
+	}
+	if d.Cost(1) != 0.7 || d.Cost(0) != 0.1 {
+		t.Errorf("refreshed costs = %g/%g", d.Cost(0), d.Cost(1))
+	}
+	// Pending was dropped, replicas re-anchored.
+	if d.replicas[group[1]][1] != 0.7 {
+		t.Error("replica not re-anchored")
+	}
+}
+
+func TestDistUnknownAgentPanics(t *testing.T) {
+	d, _ := newDist(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	d.SelectAt(topology.NodeID(999), 1)
+}

@@ -1,0 +1,291 @@
+// Package scheduler implements the paper's load-aware online scheduler
+// (§III-D). Each tensor-parallel GPU group holds a policy cost table
+// (Fig. 5): candidate transmission policies c (scheme + aggregation switch +
+// the set of links involved) with a virtual bandwidth-utilization cost b_c.
+// On every all-reduce the group selects the policy minimizing
+// J(c, D) = b_c + delta (Eq. 16), then all costs are updated synchronously —
+// the selected policy by delta, the others by delta scaled with the load
+// penalty f(c*, c) (Eq. 17), which is itself an EWMA of the link-sharing
+// ratio W(c*, c) (Eq. 18). A central controller periodically refreshes the
+// tables from live link telemetry, playing the role of the paper's
+// gRPC control plane that keeps all GPUs' tables consistent.
+package scheduler
+
+import (
+	"fmt"
+	"math"
+
+	"heroserve/internal/collective"
+	"heroserve/internal/netsim"
+	"heroserve/internal/topology"
+)
+
+// Config holds the scheduler's tuning knobs.
+type Config struct {
+	// Gamma is the EWMA smoothing factor of the penalty update (Eq. 18).
+	Gamma float64
+	// Window is the estimation window T_u in seconds (Eq. 17).
+	Window float64
+}
+
+// DefaultConfig returns the configuration used in the experiments.
+func DefaultConfig() Config {
+	return Config{Gamma: 0.3, Window: 0.1}
+}
+
+// Policy is one row of the policy cost table: a communication scheme, its
+// aggregation switch (for INA schemes), and the set of links its transfers
+// traverse.
+type Policy struct {
+	Scheme collective.Scheme
+	Switch topology.NodeID
+	Edges  []topology.EdgeID
+	Label  string
+	// TrafficFactor is the bytes a policy pushes across its bottleneck link
+	// per logical payload byte: ~2 for INA schemes (collect + distribute),
+	// 2(P-1)/(P*RingEfficiency) for ring. Zero is treated as 1.
+	TrafficFactor float64
+}
+
+// bottleneckCapacity returns the smallest link capacity among the policy's
+// edges; the delta utilization of a transfer lands on this link first.
+func (p *Policy) bottleneckCapacity(g *topology.Graph) float64 {
+	min := math.Inf(1)
+	for _, eid := range p.Edges {
+		if c := g.Edge(eid).Capacity; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Table is the synchronized policy cost table of one GPU group. The paper
+// replicates it on every GPU and keeps the replicas consistent through the
+// central controller; the single Table here is that consistent state.
+type Table struct {
+	Group    []topology.NodeID
+	Policies []Policy
+
+	g       *topology.Graph
+	cfg     Config
+	cost    []float64   // b_c
+	penalty [][]float64 // f[(selected, other)]
+
+	selections []int64 // per-policy selection counts (telemetry)
+}
+
+// NewTable builds a table over the given candidate policies. Penalties are
+// initialized to the static link-sharing ratio (edge-count based) so that the
+// very first updates already respect topology overlap.
+func NewTable(g *topology.Graph, group []topology.NodeID, policies []Policy, cfg Config) *Table {
+	if len(policies) == 0 {
+		panic("scheduler: table needs at least one policy")
+	}
+	if cfg.Gamma <= 0 || cfg.Gamma > 1 {
+		panic(fmt.Sprintf("scheduler: gamma %g outside (0,1]", cfg.Gamma))
+	}
+	if cfg.Window <= 0 {
+		panic("scheduler: window must be positive")
+	}
+	t := &Table{
+		Group:      append([]topology.NodeID(nil), group...),
+		Policies:   policies,
+		g:          g,
+		cfg:        cfg,
+		cost:       make([]float64, len(policies)),
+		penalty:    make([][]float64, len(policies)),
+		selections: make([]int64, len(policies)),
+	}
+	for i := range t.penalty {
+		t.penalty[i] = make([]float64, len(policies))
+		for j := range t.penalty[i] {
+			if i == j {
+				t.penalty[i][j] = 1
+				continue
+			}
+			t.penalty[i][j] = staticShare(&policies[i], &policies[j])
+		}
+	}
+	return t
+}
+
+// staticShare is the topology-only sharing ratio: |edges(c*) ∩ edges(c)| /
+// |edges(c)|, the W of Eq. 18 before any utilization has been observed.
+func staticShare(selected, other *Policy) float64 {
+	if len(other.Edges) == 0 {
+		return 0
+	}
+	in := make(map[topology.EdgeID]bool, len(selected.Edges))
+	for _, e := range selected.Edges {
+		in[e] = true
+	}
+	shared := 0
+	for _, e := range other.Edges {
+		if in[e] {
+			shared++
+		}
+	}
+	return float64(shared) / float64(len(other.Edges))
+}
+
+// delta returns the estimated additional utilization of pushing size bytes
+// through policy i within the estimation window: D / (T_u * C_bottleneck).
+// (The paper prints delta = D/(T_u b_c); dimensional analysis and the
+// surrounding text — "estimated additional bandwidth utilization" — require
+// the denominator to be a bandwidth, so we read b_c there as the bottleneck
+// link bandwidth of policy c.)
+func (t *Table) delta(i int, size int64) float64 {
+	cap := t.Policies[i].bottleneckCapacity(t.g)
+	if math.IsInf(cap, 1) || cap <= 0 {
+		return 0
+	}
+	factor := t.Policies[i].TrafficFactor
+	if factor <= 0 {
+		factor = 1
+	}
+	return float64(size) * factor / (t.cfg.Window * cap)
+}
+
+// Cost returns the current virtual utilization cost b_c of policy i.
+func (t *Table) Cost(i int) float64 { return t.cost[i] }
+
+// Penalty returns the current load-penalty f(selected, other).
+func (t *Table) Penalty(selected, other int) float64 { return t.penalty[selected][other] }
+
+// Selections returns how many times each policy has been selected.
+func (t *Table) Selections() []int64 {
+	return append([]int64(nil), t.selections...)
+}
+
+// Select implements Eq. 16 and Eq. 17 for one transfer of size bytes: it
+// returns the policy index minimizing J(c, D) = b_c + delta(c, D) and updates
+// every policy's virtual cost — the winner by its delta, the others by the
+// winner's delta scaled by the load penalty. Ties break to the lowest index
+// (deterministic).
+func (t *Table) Select(size int64) int {
+	best := 0
+	bestJ := math.Inf(1)
+	for i := range t.Policies {
+		if j := t.cost[i] + t.delta(i, size); j < bestJ {
+			best, bestJ = i, j
+		}
+	}
+	d := t.delta(best, size)
+	for i := range t.Policies {
+		if i == best {
+			t.cost[i] += d
+		} else {
+			t.cost[i] += d * t.penalty[best][i]
+		}
+	}
+	t.selections[best]++
+	return best
+}
+
+// RefreshCost re-anchors every policy's virtual cost to the live maximum
+// utilization among its links (the J(c,D) definition: "the maximum bandwidth
+// utilization ratio among all transmission links involved with c"). util
+// maps an edge to its current utilization in [0, 1].
+func (t *Table) RefreshCost(util func(topology.EdgeID) float64) {
+	for i := range t.Policies {
+		var worst float64
+		for _, eid := range t.Policies[i].Edges {
+			if u := util(eid); u > worst {
+				worst = u
+			}
+		}
+		t.cost[i] = worst
+	}
+}
+
+// RefreshPenalty applies Eq. 18: f <- (1-gamma) f + gamma W, with
+// W(c*, c) = sum_{e in c* ∩ c} B(e) / sum_{e in c} B(e) computed from the
+// monitored utilization of the intersecting links. When policy c carries no
+// observed load at all, the static edge-count share is used for W.
+func (t *Table) RefreshPenalty(util func(topology.EdgeID) float64) {
+	n := len(t.Policies)
+	for i := 0; i < n; i++ {
+		sel := &t.Policies[i]
+		in := make(map[topology.EdgeID]bool, len(sel.Edges))
+		for _, e := range sel.Edges {
+			in[e] = true
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			other := &t.Policies[j]
+			var shared, total float64
+			for _, e := range other.Edges {
+				u := util(e)
+				total += u
+				if in[e] {
+					shared += u
+				}
+			}
+			w := staticShare(sel, other)
+			if total > 0 {
+				w = shared / total
+			}
+			t.penalty[i][j] = (1-t.cfg.Gamma)*t.penalty[i][j] + t.cfg.Gamma*w
+		}
+	}
+}
+
+// Controller is the central HeroServe controller: it owns the group tables
+// and periodically refreshes them from network telemetry, standing in for
+// the gRPC loop between the scheduler, switch agents, and GPU agents (§IV).
+type Controller struct {
+	net      *netsim.Network
+	tables   []*Table
+	interval float64
+	ticks    int64
+	running  bool
+}
+
+// NewController returns a controller polling telemetry every interval
+// seconds of simulated time.
+func NewController(net *netsim.Network, interval float64) *Controller {
+	if interval <= 0 {
+		panic("scheduler: controller interval must be positive")
+	}
+	return &Controller{net: net, interval: interval}
+}
+
+// Register adds a table to the refresh loop.
+func (c *Controller) Register(t *Table) { c.tables = append(c.tables, t) }
+
+// Ticks returns how many refresh rounds have run.
+func (c *Controller) Ticks() int64 { return c.ticks }
+
+// Tick refreshes all tables once from the live link utilization.
+func (c *Controller) Tick() {
+	util := func(e topology.EdgeID) float64 { return c.net.EdgeUtilization(e) }
+	for _, t := range c.tables {
+		t.RefreshCost(util)
+		t.RefreshPenalty(util)
+	}
+	c.ticks++
+}
+
+// Start schedules the periodic refresh on the network's event engine. The
+// loop reschedules itself only while flows or future events exist, so it
+// does not keep an otherwise-finished simulation alive forever; call Tick
+// manually for one-shot refreshes.
+func (c *Controller) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	eng := c.net.Engine()
+	var loop func()
+	loop = func() {
+		c.Tick()
+		if c.net.ActiveFlows() > 0 || eng.Pending() > 0 {
+			eng.After(c.interval, loop)
+		} else {
+			c.running = false
+		}
+	}
+	eng.After(c.interval, loop)
+}

@@ -1,0 +1,309 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"heroserve/internal/collective"
+	"heroserve/internal/netsim"
+	"heroserve/internal/sim"
+	"heroserve/internal/topology"
+)
+
+// twoPathGraph builds a graph with two disjoint equal-capacity routes
+// between GPUs a and b, so the table has two genuinely alternative policies.
+func twoPathGraph() (*topology.Graph, []topology.NodeID, []Policy) {
+	g := topology.NewGraph()
+	a := g.AddNode(topology.Node{Kind: topology.KindGPU, Server: 0})
+	b := g.AddNode(topology.Node{Kind: topology.KindGPU, Server: 1})
+	s1 := g.AddNode(topology.Node{Kind: topology.KindAccessSwitch, INASlots: 64})
+	s2 := g.AddNode(topology.Node{Kind: topology.KindAccessSwitch, INASlots: 64})
+	e1 := g.AddEdge(a, s1, topology.LinkEthernet, 1e9, 1e-6)
+	e2 := g.AddEdge(s1, b, topology.LinkEthernet, 1e9, 1e-6)
+	e3 := g.AddEdge(a, s2, topology.LinkEthernet, 1e9, 1e-6)
+	e4 := g.AddEdge(s2, b, topology.LinkEthernet, 1e9, 1e-6)
+	group := []topology.NodeID{a, b}
+	policies := []Policy{
+		{Scheme: collective.SchemeINASync, Switch: s1, Edges: []topology.EdgeID{e1, e2}, Label: "via-s1"},
+		{Scheme: collective.SchemeINASync, Switch: s2, Edges: []topology.EdgeID{e3, e4}, Label: "via-s2"},
+	}
+	return g, group, policies
+}
+
+func TestSelectBalancesDisjointPolicies(t *testing.T) {
+	g, group, policies := twoPathGraph()
+	tb := NewTable(g, group, policies, DefaultConfig())
+	counts := make([]int, 2)
+	for i := 0; i < 100; i++ {
+		counts[tb.Select(1<<20)]++
+	}
+	// Disjoint policies have zero penalty coupling: selection must
+	// alternate and split evenly.
+	if counts[0] != 50 || counts[1] != 50 {
+		t.Errorf("selection counts = %v, want 50/50", counts)
+	}
+	sels := tb.Selections()
+	if sels[0] != 50 || sels[1] != 50 {
+		t.Errorf("Selections() = %v", sels)
+	}
+}
+
+func TestSelectPrefersCheaperPolicy(t *testing.T) {
+	g, group, policies := twoPathGraph()
+	tb := NewTable(g, group, policies, DefaultConfig())
+	// Pretend policy 0's links are already 90% utilized.
+	tb.RefreshCost(func(e topology.EdgeID) float64 {
+		if e == policies[0].Edges[0] {
+			return 0.9
+		}
+		return 0
+	})
+	if got := tb.Cost(0); got != 0.9 {
+		t.Fatalf("cost[0] = %g", got)
+	}
+	if got := tb.Select(1 << 10); got != 1 {
+		t.Errorf("selected %d, want the unloaded policy 1", got)
+	}
+}
+
+func TestEq17UpdatesWithPenalty(t *testing.T) {
+	// Two policies sharing one of two links: penalty couples their costs.
+	g := topology.NewGraph()
+	a := g.AddNode(topology.Node{Kind: topology.KindGPU, Server: 0})
+	b := g.AddNode(topology.Node{Kind: topology.KindGPU, Server: 1})
+	s := g.AddNode(topology.Node{Kind: topology.KindAccessSwitch, INASlots: 4})
+	shared := g.AddEdge(a, s, topology.LinkEthernet, 1e9, 0)
+	own1 := g.AddEdge(s, b, topology.LinkEthernet, 1e9, 0)
+	own2 := g.AddEdge(s, b, topology.LinkEthernet, 1e9, 0)
+	policies := []Policy{
+		{Scheme: collective.SchemeINASync, Switch: s, Edges: []topology.EdgeID{shared, own1}},
+		{Scheme: collective.SchemeINASync, Switch: s, Edges: []topology.EdgeID{shared, own2}},
+	}
+	tb := NewTable(g, []topology.NodeID{a, b}, policies, DefaultConfig())
+	// Static share: 1 of 2 edges overlap -> f = 0.5 both ways.
+	if got := tb.Penalty(0, 1); got != 0.5 {
+		t.Fatalf("initial penalty = %g, want 0.5", got)
+	}
+	const size = 100 << 20 // 100 MB over 1 GB/s, window 0.1 s -> delta = 1.0
+	sel := tb.Select(size)
+	if sel != 0 {
+		t.Fatalf("tie should break to policy 0, got %d", sel)
+	}
+	d := float64(size) / (0.1 * 1e9)
+	if math.Abs(tb.Cost(0)-d) > 1e-9 {
+		t.Errorf("winner cost = %g, want %g", tb.Cost(0), d)
+	}
+	if math.Abs(tb.Cost(1)-d*0.5) > 1e-9 {
+		t.Errorf("loser cost = %g, want %g (delta * f)", tb.Cost(1), d*0.5)
+	}
+}
+
+func TestRefreshPenaltyEWMA(t *testing.T) {
+	g, group, policies := twoPathGraph()
+	cfg := Config{Gamma: 0.5, Window: 0.1}
+	tb := NewTable(g, group, policies, cfg)
+	if tb.Penalty(0, 1) != 0 {
+		t.Fatalf("disjoint policies should start at zero penalty, got %g", tb.Penalty(0, 1))
+	}
+	// All-zero utilization: W falls back to static share (0 here); penalty
+	// stays 0.
+	tb.RefreshPenalty(func(topology.EdgeID) float64 { return 0 })
+	if tb.Penalty(0, 1) != 0 {
+		t.Error("penalty moved despite zero share")
+	}
+	// Make policy 1's edges half-loaded, no overlap -> W = 0 still.
+	tb.RefreshPenalty(func(e topology.EdgeID) float64 { return 0.5 })
+	if tb.Penalty(0, 1) != 0 {
+		t.Error("penalty for disjoint policies should remain 0")
+	}
+}
+
+func TestRefreshPenaltyWithOverlap(t *testing.T) {
+	g := topology.NewGraph()
+	a := g.AddNode(topology.Node{Kind: topology.KindGPU, Server: 0})
+	b := g.AddNode(topology.Node{Kind: topology.KindGPU, Server: 1})
+	s := g.AddNode(topology.Node{Kind: topology.KindAccessSwitch, INASlots: 4})
+	shared := g.AddEdge(a, s, topology.LinkEthernet, 1e9, 0)
+	own := g.AddEdge(s, b, topology.LinkEthernet, 1e9, 0)
+	own2 := g.AddEdge(s, b, topology.LinkEthernet, 1e9, 0)
+	policies := []Policy{
+		{Edges: []topology.EdgeID{shared, own}},
+		{Edges: []topology.EdgeID{shared, own2}},
+	}
+	tb := NewTable(g, []topology.NodeID{a, b}, policies, Config{Gamma: 1, Window: 0.1})
+	// Utilization: shared link hot (0.8), own links cold (0.2):
+	// W(0,1) = 0.8 / (0.8 + 0.2) = 0.8. Gamma=1 adopts W directly.
+	tb.RefreshPenalty(func(e topology.EdgeID) float64 {
+		if e == shared {
+			return 0.8
+		}
+		return 0.2
+	})
+	if got := tb.Penalty(0, 1); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("penalty = %g, want 0.8", got)
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	g, group, policies := twoPathGraph()
+	for _, fn := range []func(){
+		func() { NewTable(g, group, nil, DefaultConfig()) },
+		func() { NewTable(g, group, policies, Config{Gamma: 0, Window: 1}) },
+		func() { NewTable(g, group, policies, Config{Gamma: 2, Window: 1}) },
+		func() { NewTable(g, group, policies, Config{Gamma: 0.5, Window: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad table accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBuildPoliciesTestbed(t *testing.T) {
+	g := topology.Testbed()
+	r := collective.NewStaticRouter(g)
+	// Group: all of servers 0 and 1 (8 GPUs, co-located pairs exist).
+	group := append(append([]topology.NodeID{}, g.ServerGPUs(0)...), g.ServerGPUs(1)...)
+	ps := BuildPolicies(g, r, group, 1<<20, 2, true)
+	var rings, inas, heteros int
+	for _, p := range ps {
+		switch p.Scheme {
+		case collective.SchemeRing:
+			rings++
+			if p.Switch != -1 {
+				t.Error("ring policy has a switch")
+			}
+		case collective.SchemeINASync:
+			inas++
+		case collective.SchemeHetero:
+			heteros++
+		}
+		if len(p.Edges) == 0 {
+			t.Errorf("policy %q has no edges", p.Label)
+		}
+		// Edges deduplicated and sorted.
+		for i := 1; i < len(p.Edges); i++ {
+			if p.Edges[i-1] >= p.Edges[i] {
+				t.Errorf("policy %q edges not sorted/unique", p.Label)
+			}
+		}
+	}
+	if rings != 1 {
+		t.Errorf("ring policies = %d, want 1", rings)
+	}
+	if inas != 2 {
+		t.Errorf("INA policies = %d, want 2 (both switches)", inas)
+	}
+	if heteros != 2 {
+		t.Errorf("hetero policies = %d, want 2", heteros)
+	}
+	// A hetero policy must touch fewer Ethernet edges than its INA sibling.
+	ethEdges := func(p Policy) int {
+		n := 0
+		for _, e := range p.Edges {
+			if g.Edge(e).Kind == topology.LinkEthernet {
+				n++
+			}
+		}
+		return n
+	}
+	var inaEth, hetEth int
+	for _, p := range ps {
+		switch p.Scheme {
+		case collective.SchemeINASync:
+			if inaEth == 0 {
+				inaEth = ethEdges(p)
+			}
+		case collective.SchemeHetero:
+			if hetEth == 0 {
+				hetEth = ethEdges(p)
+			}
+		}
+	}
+	if hetEth >= inaEth {
+		t.Errorf("hetero policy uses %d Ethernet edges, INA uses %d; want fewer", hetEth, inaEth)
+	}
+}
+
+func TestBuildPoliciesNoHeteroForSpreadGroup(t *testing.T) {
+	g := topology.Testbed()
+	r := collective.NewStaticRouter(g)
+	// One GPU per server: pre-reduction has nothing to reduce.
+	group := []topology.NodeID{
+		g.ServerGPUs(0)[0], g.ServerGPUs(1)[0], g.ServerGPUs(2)[0], g.ServerGPUs(3)[0],
+	}
+	for _, p := range BuildPolicies(g, r, group, 1<<20, 2, true) {
+		if p.Scheme == collective.SchemeHetero {
+			t.Error("hetero policy built for a fully spread group")
+		}
+	}
+}
+
+func TestControllerTickRefreshesFromNetwork(t *testing.T) {
+	g, group, policies := twoPathGraph()
+	eng := sim.NewEngine()
+	net := netsim.New(g, eng)
+	ctl := NewController(net, 0.01)
+	tb := NewTable(g, group, policies, DefaultConfig())
+	ctl.Register(tb)
+
+	// Saturate policy 0's first link with a long flow.
+	path := topology.Path{Nodes: []topology.NodeID{group[0], 2}, Edges: []topology.EdgeID{policies[0].Edges[0]}}
+	net.StartFlow(path, 1<<30, nil)
+	ctl.Tick()
+	if tb.Cost(0) <= tb.Cost(1) {
+		t.Errorf("controller refresh: cost0=%g cost1=%g, want 0 hotter", tb.Cost(0), tb.Cost(1))
+	}
+	if ctl.Ticks() != 1 {
+		t.Errorf("Ticks = %d", ctl.Ticks())
+	}
+}
+
+func TestControllerStartStopsWhenIdle(t *testing.T) {
+	g, group, policies := twoPathGraph()
+	eng := sim.NewEngine()
+	net := netsim.New(g, eng)
+	ctl := NewController(net, 0.01)
+	ctl.Register(NewTable(g, group, policies, DefaultConfig()))
+	path := topology.Path{Nodes: []topology.NodeID{group[0], 2}, Edges: []topology.EdgeID{policies[0].Edges[0]}}
+	net.StartFlow(path, 1<<24, nil) // ~16.8 ms at 1 GB/s
+	ctl.Start()
+	ctl.Start() // idempotent
+	eng.Run()   // must terminate: the loop stops when the network drains
+	if ctl.Ticks() < 1 {
+		t.Error("controller never ticked")
+	}
+}
+
+func TestControllerBadInterval(t *testing.T) {
+	g, _, _ := twoPathGraph()
+	eng := sim.NewEngine()
+	net := netsim.New(g, eng)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewController(net, 0)
+}
+
+// Property-flavored check: costs never go negative and grow monotonically
+// between refreshes under arbitrary selection traffic.
+func TestCostsMonotoneBetweenRefreshes(t *testing.T) {
+	g, group, policies := twoPathGraph()
+	tb := NewTable(g, group, policies, DefaultConfig())
+	prev := []float64{0, 0}
+	for i := 0; i < 200; i++ {
+		tb.Select(int64(1+i) << 12)
+		for j := range prev {
+			if tb.Cost(j) < prev[j]-1e-12 {
+				t.Fatalf("cost %d decreased without refresh", j)
+			}
+			prev[j] = tb.Cost(j)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package serving
+
+import (
+	"fmt"
+
+	"heroserve/internal/sim"
+)
+
+// AutoscaleConfig enables the §VII future-work mechanism: "rapid scaling in
+// and out to achieve finer-grained scheduling of computational resources".
+// Decode instances beyond InitialActive start as deactivated reserves; a
+// control loop watches the decode backlog, activates reserves under
+// pressure (paying a weight-loading delay), and deactivates instances that
+// stay idle.
+type AutoscaleConfig struct {
+	// InitialActive decode instances start active; the rest are reserves.
+	// Values <= 0 or beyond the instance count activate everything.
+	InitialActive int
+	// MinActive floors scale-in (default 1).
+	MinActive int
+	// Interval is the control-loop period in simulated seconds (default 1).
+	Interval float64
+	// ScaleOutBacklog triggers activation when the pending (not yet
+	// admitted) requests per active instance exceed it (default 2).
+	ScaleOutBacklog float64
+	// ScaleInIdle deactivates an instance idle for this many consecutive
+	// simulated seconds (default 30).
+	ScaleInIdle float64
+	// WeightLoadBW is the per-GPU weight-loading bandwidth on activation,
+	// bytes/second (default 20 GB/s: host-memory/NVMe staging into HBM).
+	WeightLoadBW float64
+}
+
+func (c *AutoscaleConfig) setDefaults() {
+	if c.MinActive <= 0 {
+		c.MinActive = 1
+	}
+	if c.Interval <= 0 {
+		c.Interval = 1
+	}
+	if c.ScaleOutBacklog <= 0 {
+		c.ScaleOutBacklog = 2
+	}
+	if c.ScaleInIdle <= 0 {
+		c.ScaleInIdle = 30
+	}
+	if c.WeightLoadBW <= 0 {
+		c.WeightLoadBW = 20e9
+	}
+}
+
+// ScaleEvent records one autoscaler transition.
+type ScaleEvent struct {
+	T      sim.Time
+	Active int
+	Action string // "activate" | "ready" | "deactivate"
+	ID     int    // decode instance id
+}
+
+// autoscaler is the runtime control loop.
+type autoscaler struct {
+	sys *System
+	cfg AutoscaleConfig
+
+	events []ScaleEvent
+	// accounting for active GPU-seconds
+	lastT      sim.Time
+	activeGPUs int
+	gpuSeconds float64
+}
+
+// startAutoscaler wires the config into the system: deactivates reserves and
+// schedules the control loop.
+func (s *System) startAutoscaler(cfg AutoscaleConfig) {
+	cfg.setDefaults()
+	a := &autoscaler{sys: s, cfg: cfg}
+	s.scaler = a
+	initial := cfg.InitialActive
+	if initial <= 0 || initial > len(s.decode) {
+		initial = len(s.decode)
+	}
+	if initial < cfg.MinActive {
+		initial = cfg.MinActive
+	}
+	for i, di := range s.decode {
+		di.active = i < initial
+		di.idleSince = 0
+		if di.active {
+			a.activeGPUs += len(di.spec.GPUs())
+		}
+	}
+	a.lastT = s.eng.Now()
+	a.loop()
+}
+
+// charge accrues active GPU-seconds up to now.
+func (a *autoscaler) charge() {
+	now := a.sys.eng.Now()
+	a.gpuSeconds += float64(a.activeGPUs) * (now - a.lastT)
+	a.lastT = now
+}
+
+// loop is the periodic control step.
+func (a *autoscaler) loop() {
+	a.step()
+	if a.sys.eng.Pending() > 0 {
+		a.sys.eng.After(a.cfg.Interval, a.loop)
+	}
+}
+
+// step applies the scale-out/scale-in rules once.
+func (a *autoscaler) step() {
+	s := a.sys
+	now := s.eng.Now()
+
+	active := 0
+	pendingTotal := 0
+	for _, di := range s.decode {
+		if di.active || di.activating {
+			active++
+		}
+		pendingTotal += len(di.pending)
+	}
+
+	// Scale out: backlog per active instance too high and a reserve exists.
+	if active > 0 && float64(pendingTotal)/float64(active) > a.cfg.ScaleOutBacklog {
+		for _, di := range s.decode {
+			if di.active || di.activating {
+				continue
+			}
+			a.activate(di)
+			break
+		}
+	}
+
+	// Scale in: deactivate one instance that has been idle long enough.
+	if active > a.cfg.MinActive {
+		for _, di := range s.decode {
+			if !di.active || di.activating || len(di.running) > 0 || len(di.pending) > 0 || di.inflightKV > 0 {
+				continue
+			}
+			if di.idleSince > 0 && now-di.idleSince >= a.cfg.ScaleInIdle {
+				a.deactivate(di)
+				break
+			}
+		}
+	}
+
+	// Refresh idle stamps.
+	for _, di := range s.decode {
+		if di.active && len(di.running) == 0 && len(di.pending) == 0 && di.inflightKV == 0 {
+			if di.idleSince == 0 {
+				di.idleSince = now
+			}
+		} else {
+			di.idleSince = 0
+		}
+	}
+}
+
+// activate begins loading an instance's weights; it serves traffic (and is
+// a KV-routing target) once ready.
+func (a *autoscaler) activate(di *decodeInstance) {
+	s := a.sys
+	di.activating = true
+	weight := s.dep.Model.WeightBytesPerGPU(di.spec.Ptens(), di.spec.Ppipe())
+	delay := float64(weight) / a.cfg.WeightLoadBW // per-GPU loads run in parallel
+	a.events = append(a.events, ScaleEvent{T: s.eng.Now(), Active: a.countActive(), Action: "activate", ID: di.id})
+	s.eng.After(delay, func() {
+		a.charge()
+		di.activating = false
+		di.active = true
+		di.idleSince = 0
+		a.activeGPUs += len(di.spec.GPUs())
+		a.events = append(a.events, ScaleEvent{T: s.eng.Now(), Active: a.countActive(), Action: "ready", ID: di.id})
+		s.admitDecode(di)
+		s.maybeIterate(di)
+	})
+}
+
+// deactivate returns an idle instance to the reserve pool.
+func (a *autoscaler) deactivate(di *decodeInstance) {
+	a.charge()
+	di.active = false
+	a.activeGPUs -= len(di.spec.GPUs())
+	a.events = append(a.events, ScaleEvent{T: a.sys.eng.Now(), Active: a.countActive(), Action: "deactivate", ID: di.id})
+}
+
+func (a *autoscaler) countActive() int {
+	n := 0
+	for _, di := range a.sys.decode {
+		if di.active {
+			n++
+		}
+	}
+	return n
+}
+
+// finish closes the accounting at simulation end.
+func (a *autoscaler) finish() {
+	a.charge()
+}
+
+func (a *autoscaler) String() string {
+	return fmt.Sprintf("autoscaler(%d events, %.0f GPU-seconds)", len(a.events), a.gpuSeconds)
+}

@@ -1,0 +1,174 @@
+package serving
+
+import (
+	"testing"
+
+	"heroserve/internal/collective"
+	"heroserve/internal/model"
+	"heroserve/internal/topology"
+	"heroserve/internal/workload"
+)
+
+// scaleDeployment builds OPT-13B with one prefill instance and three decode
+// instances (one per remaining server's half), so the autoscaler has
+// reserves to play with.
+func scaleDeployment(t *testing.T, g *topology.Graph) Deployment {
+	t.Helper()
+	sw := g.Switches()[0]
+	pre, err := NewInstanceSpec(RolePrefill, g.ServerGPUs(0), 4, 1, sw, collective.SchemeRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec []InstanceSpec
+	for s := 1; s <= 3; s++ {
+		di, err := NewInstanceSpec(RoleDecode, g.ServerGPUs(s), 4, 1, sw, collective.SchemeRing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec = append(dec, di)
+	}
+	return Deployment{Model: model.OPT13B(), Prefill: []InstanceSpec{pre}, Decode: dec}
+}
+
+// burstTrace builds a trace with a dense burst followed by a long quiet
+// tail, the regime autoscaling is for.
+func burstTrace(n int) *workload.Trace {
+	tr := &workload.Trace{Name: "burst"}
+	for i := 0; i < n; i++ {
+		tr.Requests = append(tr.Requests, workload.Request{
+			ID: i, Arrival: 0.05 * float64(i+1), Input: 256, Output: 160,
+		})
+	}
+	// Stragglers long after the burst (the scale-in window).
+	for i := 0; i < 3; i++ {
+		tr.Requests = append(tr.Requests, workload.Request{
+			ID: n + i, Arrival: 120 + 10*float64(i), Input: 128, Output: 40,
+		})
+	}
+	return tr
+}
+
+func TestAutoscalerScalesOutAndIn(t *testing.T) {
+	g := topology.Testbed()
+	dep := scaleDeployment(t, g)
+	sys, err := New(g, dep, Options{
+		MaxDecodeBatch: 8, // tight batches force backlog under the burst
+		Autoscale: &AutoscaleConfig{
+			InitialActive:   1,
+			ScaleOutBacklog: 1,
+			ScaleInIdle:     10,
+			Interval:        0.5,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(burstTrace(60))
+	if res.Served != 63 {
+		t.Fatalf("served %d/63", res.Served)
+	}
+	var activations, readies, deactivations int
+	peak := 1
+	for _, e := range res.ScaleEvents {
+		switch e.Action {
+		case "activate":
+			activations++
+		case "ready":
+			readies++
+			if e.Active > peak {
+				peak = e.Active
+			}
+		case "deactivate":
+			deactivations++
+		}
+	}
+	if activations == 0 || readies == 0 {
+		t.Fatalf("no scale-out under burst: %+v", res.ScaleEvents)
+	}
+	if peak < 2 {
+		t.Errorf("peak active = %d, want >= 2", peak)
+	}
+	if deactivations == 0 {
+		t.Errorf("no scale-in during the quiet tail: %+v", res.ScaleEvents)
+	}
+	if res.ActiveGPUSeconds <= 0 {
+		t.Error("no GPU-seconds accounted")
+	}
+	// Autoscaling must use fewer decode GPU-seconds than keeping all three
+	// instances up the whole run.
+	static := float64(12) * res.Duration
+	if res.ActiveGPUSeconds >= static {
+		t.Errorf("autoscaled GPU-seconds %.0f not below static %.0f", res.ActiveGPUSeconds, static)
+	}
+}
+
+func TestAutoscalerOffAccounting(t *testing.T) {
+	g := topology.Testbed()
+	dep := scaleDeployment(t, g)
+	sys, err := New(g, dep, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(burstTrace(10))
+	want := float64(12) * res.Duration // 3 instances x 4 GPUs
+	if res.ActiveGPUSeconds != want {
+		t.Errorf("static GPU-seconds = %g, want %g", res.ActiveGPUSeconds, want)
+	}
+	if len(res.ScaleEvents) != 0 {
+		t.Error("scale events without autoscaler")
+	}
+}
+
+func TestAutoscalerActivationDelay(t *testing.T) {
+	// A reserve must not serve before its weights load: with a crawling
+	// load bandwidth the burst is served by instance 0 alone.
+	g := topology.Testbed()
+	dep := scaleDeployment(t, g)
+	sys, err := New(g, dep, Options{
+		Autoscale: &AutoscaleConfig{
+			InitialActive:   1,
+			ScaleOutBacklog: 1,
+			WeightLoadBW:    1, // ~forever
+			ScaleInIdle:     1e6,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(burstTrace(20))
+	if res.Served != 23 {
+		t.Fatalf("served %d/23", res.Served)
+	}
+	for _, e := range res.ScaleEvents {
+		if e.Action == "ready" {
+			t.Fatal("instance became ready despite unloadable weights")
+		}
+	}
+}
+
+func TestAutoscalerRespectsMinActive(t *testing.T) {
+	g := topology.Testbed()
+	dep := scaleDeployment(t, g)
+	sys, err := New(g, dep, Options{
+		Autoscale: &AutoscaleConfig{
+			InitialActive: 2,
+			MinActive:     2,
+			ScaleInIdle:   0.5,
+			Interval:      0.25,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(burstTrace(20))
+	low := 3
+	for _, e := range res.ScaleEvents {
+		if e.Active < low {
+			low = e.Active
+		}
+	}
+	if low < 2 {
+		t.Errorf("active dropped to %d below MinActive 2", low)
+	}
+	_ = res
+}

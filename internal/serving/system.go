@@ -1,0 +1,557 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+
+	"heroserve/internal/collective"
+	"heroserve/internal/model"
+	"heroserve/internal/netsim"
+	"heroserve/internal/sim"
+	"heroserve/internal/stats"
+	"heroserve/internal/topology"
+	"heroserve/internal/workload"
+)
+
+// kvUsableFraction leaves headroom in the post-weight GPU memory for
+// activations and fragmentation before KV admission blocks.
+const kvUsableFraction = 0.95
+
+// System is one configured serving simulation.
+type System struct {
+	g    *topology.Graph
+	eng  *sim.Engine
+	net  *netsim.Network
+	comm *collective.Comm
+
+	dep  Deployment
+	opts Options
+
+	prefill []*prefillInstance
+	decode  []*decodeInstance
+	scaler  *autoscaler
+
+	fitted map[string]*model.ComputeModel
+
+	metrics []RequestMetrics
+}
+
+// request tracks one in-flight request's simulation state.
+type request struct {
+	req          workload.Request
+	firstTokenAt sim.Time
+	generated    int // decode tokens produced (beyond the prefill token)
+	target       *decodeInstance
+}
+
+// kvTokens returns the tokens currently occupying KV memory for the request.
+func (r *request) kvTokens() int64 { return int64(r.req.Input + 1 + r.generated) }
+
+type prefillInstance struct {
+	id           int
+	spec         *InstanceSpec
+	cm           *model.ComputeModel
+	queue        []*request
+	queuedTokens int64
+	busy         bool
+}
+
+type decodeInstance struct {
+	id      int
+	spec    *InstanceSpec
+	cm      *model.ComputeModel
+	running []*request
+	pending []*request
+	// Autoscaling state: instances are active by default; with
+	// Options.Autoscale, reserves start deactivated and the autoscaler
+	// toggles them (activating = weights still loading).
+	active     bool
+	activating bool
+	idleSince  sim.Time
+	// inflightKV counts tokens whose KV is currently migrating toward this
+	// instance, for load-aware assignment.
+	inflightKV int64
+	kvUsed     int64
+	kvCap      int64
+	iterating  bool
+	iterations int64
+	series     stats.Series
+}
+
+// New builds a System over the graph. The communication policy and batching
+// limits come from opts. It validates the deployment and fits one compute
+// model per GPU type present (using the slowest GPU of each instance, which
+// paces its synchronous iterations).
+func New(g *topology.Graph, dep Deployment, opts Options) (*System, error) {
+	if err := dep.Validate(); err != nil {
+		return nil, err
+	}
+	opts.setDefaults()
+	eng := sim.NewEngine()
+	net := netsim.New(g, eng)
+	var router collective.Router = collective.NewStaticRouter(g)
+	if opts.RouterFactory != nil {
+		router = opts.RouterFactory(net)
+	}
+	s := &System{
+		g:      g,
+		eng:    eng,
+		net:    net,
+		comm:   collective.NewComm(net, router),
+		dep:    dep,
+		opts:   opts,
+		fitted: make(map[string]*model.ComputeModel),
+	}
+	for i := range dep.Prefill {
+		cm, err := s.computeModelFor(&dep.Prefill[i])
+		if err != nil {
+			return nil, err
+		}
+		s.prefill = append(s.prefill, &prefillInstance{id: i, spec: &dep.Prefill[i], cm: cm})
+	}
+	for i := range dep.Decode {
+		cm, err := s.computeModelFor(&dep.Decode[i])
+		if err != nil {
+			return nil, err
+		}
+		di := &decodeInstance{id: i, spec: &dep.Decode[i], cm: cm, active: true}
+		di.kvCap = s.kvCapacity(&dep.Decode[i])
+		di.series.Name = fmt.Sprintf("decode-%d", i)
+		s.decode = append(s.decode, di)
+	}
+	return s, nil
+}
+
+// Engine exposes the event engine (for injecting background traffic or
+// controllers before Run).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Network exposes the flow simulator.
+func (s *System) Network() *netsim.Network { return s.net }
+
+// Comm exposes the collective executor.
+func (s *System) Comm() *collective.Comm { return s.comm }
+
+// computeModelFor fits (with caching) the cost model of the instance's
+// slowest GPU type: synchronous data parallelism paces on the straggler.
+func (s *System) computeModelFor(spec *InstanceSpec) (*model.ComputeModel, error) {
+	slowest := model.GPUSpec{}
+	for _, id := range spec.GPUs() {
+		n := s.g.Node(id)
+		if n.Kind != topology.KindGPU {
+			return nil, fmt.Errorf("serving: node %d in instance is not a GPU", id)
+		}
+		spec, err := model.GPUByName(n.GPUType)
+		if err != nil {
+			return nil, err
+		}
+		if slowest.Name == "" || spec.PeakFLOPS < slowest.PeakFLOPS {
+			slowest = spec
+		}
+	}
+	if cm, ok := s.fitted[slowest.Name]; ok && cm.Config.Name == s.dep.Model.Name {
+		return cm, nil
+	}
+	cm, err := model.Fit(s.dep.Model, slowest)
+	if err != nil {
+		return nil, err
+	}
+	s.fitted[slowest.Name] = cm
+	return cm, nil
+}
+
+// kvCapacity returns the KV-cache byte budget of a decode instance: the
+// post-weight free memory of its GPUs, derated by kvUsableFraction.
+func (s *System) kvCapacity(spec *InstanceSpec) int64 {
+	weight := s.dep.Model.WeightBytesPerGPU(spec.Ptens(), spec.Ppipe())
+	var capBytes int64
+	for _, id := range spec.GPUs() {
+		free := s.g.Node(id).FreeBytes - weight
+		if free > 0 {
+			capBytes += free
+		}
+	}
+	return int64(float64(capBytes) * kvUsableFraction)
+}
+
+// syncSteps returns the per-stage count of tensor-parallel synchronization
+// steps in one forward pass: 2 per layer, split across pipeline stages.
+func (s *System) syncSteps(spec *InstanceSpec) int {
+	steps := s.dep.Model.SyncStepsPerPass() / spec.Ppipe()
+	if steps < 1 {
+		steps = 1
+	}
+	return steps
+}
+
+// groupCtx builds the CommPolicy context for a stage.
+func (s *System) groupCtx(spec *InstanceSpec, instance, stage int) *GroupCtx {
+	return &GroupCtx{
+		Comm:   s.comm,
+		ID:     GroupID{Role: spec.Role, Instance: instance, Stage: stage},
+		Group:  spec.Stages[stage],
+		Switch: spec.stageSwitch(stage),
+		Scheme: spec.stageScheme(stage),
+	}
+}
+
+// Run replays the trace through the system and returns the results. It is
+// single-shot: build a fresh System per run.
+func (s *System) Run(trace *workload.Trace) *Results {
+	for i := range trace.Requests {
+		r := &request{req: trace.Requests[i]}
+		s.eng.Schedule(r.req.Arrival, func() { s.admit(r) })
+	}
+	if s.opts.Autoscale != nil {
+		s.startAutoscaler(*s.opts.Autoscale)
+	}
+	s.eng.Run()
+
+	res := &Results{
+		PolicyName: s.opts.Policy.Name(),
+		Served:     len(s.metrics),
+		Duration:   s.eng.Now(),
+		Requests:   s.metrics,
+		Comm:       s.comm.Counters(),
+	}
+	for _, di := range s.decode {
+		di.recordKV(s.eng.Now())
+		res.KVUtilization = append(res.KVUtilization, di.series)
+	}
+	if s.scaler != nil {
+		s.scaler.finish()
+		res.ScaleEvents = s.scaler.events
+		res.ActiveGPUSeconds = s.scaler.gpuSeconds
+	} else {
+		gpus := 0
+		for _, di := range s.decode {
+			gpus += len(di.spec.GPUs())
+		}
+		res.ActiveGPUSeconds = float64(gpus) * res.Duration
+	}
+	return res
+}
+
+// admit routes an arriving request to the least-loaded prefill instance
+// (fewest queued tokens).
+func (s *System) admit(r *request) {
+	best := s.prefill[0]
+	for _, pi := range s.prefill[1:] {
+		if pi.queuedTokens < best.queuedTokens {
+			best = pi
+		}
+	}
+	best.queue = append(best.queue, r)
+	best.queuedTokens += int64(r.req.Input)
+	s.maybeStartPrefill(best)
+}
+
+// maybeStartPrefill launches a prefill pass when the instance is idle and
+// has work: continuous batching with a token budget (§III-B).
+func (s *System) maybeStartPrefill(pi *prefillInstance) {
+	if pi.busy || len(pi.queue) == 0 {
+		return
+	}
+	var batch []*request
+	var kin, kin2 int64
+	for len(pi.queue) > 0 {
+		r := pi.queue[0]
+		in := int64(r.req.Input)
+		if len(batch) > 0 && kin+in > int64(s.opts.MaxPrefillTokens) {
+			break
+		}
+		pi.queue = pi.queue[1:]
+		pi.queuedTokens -= in
+		batch = append(batch, r)
+		kin += in
+		kin2 += in * in
+	}
+	pi.busy = true
+	s.runPrefillStage(pi, batch, kin, kin2, 0)
+}
+
+// runPrefillStage executes pipeline stage i of a prefill pass: compute, then
+// tensor-parallel synchronization, then the activation hand-off to the next
+// stage.
+func (s *System) runPrefillStage(pi *prefillInstance, batch []*request, kin, kin2 int64, stage int) {
+	spec := pi.spec
+	if stage == spec.Ppipe() {
+		s.finishPrefill(pi, batch)
+		return
+	}
+	tc := pi.cm.Prefill(kin, kin2, spec.Ptens()) / float64(spec.Ppipe())
+	s.eng.After(tc, func() {
+		next := func() {
+			if stage+1 < spec.Ppipe() {
+				from := spec.Stages[stage][0]
+				to := spec.Stages[stage+1][0]
+				s.comm.Transfer(from, to, s.dep.Model.PipelineActivationBytes(kin), func() {
+					s.runPrefillStage(pi, batch, kin, kin2, stage+1)
+				})
+				return
+			}
+			s.runPrefillStage(pi, batch, kin, kin2, stage+1)
+		}
+		if spec.Ptens() <= 1 {
+			next()
+			return
+		}
+		ctx := s.groupCtx(spec, pi.id, stage)
+		s.opts.Policy.AllReduce(ctx, s.dep.Model.SyncBytes(kin), s.syncSteps(spec), next)
+	})
+}
+
+// finishPrefill records first tokens, assigns decode targets, and migrates
+// KV caches.
+func (s *System) finishPrefill(pi *prefillInstance, batch []*request) {
+	now := s.eng.Now()
+	for _, r := range batch {
+		r.firstTokenAt = now
+		s.transferKV(pi, r)
+	}
+	pi.busy = false
+	s.maybeStartPrefill(pi)
+}
+
+// transferKV migrates a request's KV cache from the prefill instance to the
+// least-loaded decode instance, pairing pipeline stages (Eq. 14-15: the
+// slowest pair bounds the latency).
+func (s *System) transferKV(pi *prefillInstance, r *request) {
+	load := func(d *decodeInstance) int64 {
+		return d.kvUsed + d.inflightKV
+	}
+	var target *decodeInstance
+	for _, di := range s.decode {
+		if !di.active && !di.activating {
+			continue
+		}
+		if target == nil || load(di) < load(target) {
+			target = di
+		}
+	}
+	if target == nil {
+		// Every instance deactivated (misconfigured autoscaler floor):
+		// fall back to the first instance.
+		target = s.decode[0]
+	}
+	r.target = target
+	kvTok := int64(r.req.Input + 1)
+	target.inflightKV += kvTok * s.dep.Model.KVBytesPerToken()
+
+	total := s.dep.Model.KVTransferBytes(kvTok)
+	pp := pi.spec.Ppipe()
+	ppD := target.spec.Ppipe()
+	share := total / int64(pp)
+	bar := 0
+	onePairDone := func() {
+		bar--
+		if bar == 0 {
+			s.kvArrived(r)
+		}
+	}
+	// Callbacks fire from engine events only, never synchronously, so bar
+	// reaches its full count before the first onePairDone runs.
+	for st := 0; st < pp; st++ {
+		from := pi.spec.Stages[st][0]
+		to := target.spec.Stages[st*ppD/pp][0]
+		bar++
+		s.comm.Transfer(from, to, share, onePairDone)
+	}
+}
+
+// kvArrived queues the request at its decode instance and kicks iteration.
+func (s *System) kvArrived(r *request) {
+	di := r.target
+	di.inflightKV -= int64(r.req.Input+1) * s.dep.Model.KVBytesPerToken()
+	if r.req.Output <= 1 {
+		// Single-token request: served entirely by prefill.
+		s.complete(r)
+		return
+	}
+	di.pending = append(di.pending, r)
+	s.admitDecode(di)
+	s.maybeIterate(di)
+}
+
+// admitDecode moves pending requests into the running batch while KV memory
+// and the batch cap allow. A request that cannot fit even into an empty
+// instance is force-admitted to avoid livelock (real systems would reject or
+// swap; the SLA metrics punish it either way).
+func (s *System) admitDecode(di *decodeInstance) {
+	kvPerTok := s.dep.Model.KVBytesPerToken()
+	changed := false
+	for len(di.pending) > 0 && len(di.running) < s.opts.MaxDecodeBatch {
+		r := di.pending[0]
+		need := r.kvTokens() * kvPerTok
+		if di.kvUsed+need > di.kvCap && len(di.running) > 0 {
+			break
+		}
+		di.pending = di.pending[1:]
+		di.kvUsed += need
+		di.running = append(di.running, r)
+		changed = true
+	}
+	if changed {
+		di.recordKV(s.eng.Now())
+	}
+}
+
+// maybeIterate starts the decode iteration loop when idle.
+func (s *System) maybeIterate(di *decodeInstance) {
+	if di.iterating || len(di.running) == 0 || !di.active {
+		return
+	}
+	di.iterating = true
+	s.iterate(di)
+}
+
+// iterate runs one decode iteration: memory-bound compute over the whole
+// batch's KV history, then per-stage tensor-parallel synchronization, then
+// token accounting, completions, admissions, and the next iteration.
+func (s *System) iterate(di *decodeInstance) {
+	spec := di.spec
+	var kvTokens int64
+	for _, r := range di.running {
+		kvTokens += r.kvTokens()
+	}
+	tc := di.cm.Decode(kvTokens, spec.Ptens(), spec.Ppipe())
+	s.eng.After(tc, func() {
+		finish := func() { s.finishIteration(di) }
+		if spec.Ptens() <= 1 {
+			finish()
+			return
+		}
+		msg := s.dep.Model.SyncBytes(int64(len(di.running)))
+		steps := s.syncSteps(spec)
+		remaining := spec.Ppipe()
+		done := func() {
+			remaining--
+			if remaining == 0 {
+				finish()
+			}
+		}
+		for st := 0; st < spec.Ppipe(); st++ {
+			ctx := s.groupCtx(spec, di.id, st)
+			s.opts.Policy.AllReduce(ctx, msg, steps, done)
+		}
+	})
+}
+
+// finishIteration advances every running request by one token.
+func (s *System) finishIteration(di *decodeInstance) {
+	kvPerTok := s.dep.Model.KVBytesPerToken()
+	di.iterations++
+	survivors := di.running[:0]
+	completedAny := false
+	for _, r := range di.running {
+		r.generated++
+		di.kvUsed += kvPerTok
+		if r.generated >= r.req.Output-1 {
+			di.kvUsed -= r.kvTokens() * kvPerTok
+			s.complete(r)
+			completedAny = true
+			continue
+		}
+		survivors = append(survivors, r)
+	}
+	di.running = survivors
+	if completedAny || di.iterations%int64(s.opts.KVSampleEvery) == 0 {
+		di.recordKV(s.eng.Now())
+	}
+	s.admitDecode(di)
+	di.iterating = false
+	s.maybeIterate(di)
+}
+
+// complete records a served request's metrics.
+func (s *System) complete(r *request) {
+	now := s.eng.Now()
+	ttft := r.firstTokenAt - r.req.Arrival
+	var tpot float64
+	if r.req.Output > 1 {
+		tpot = (now - r.firstTokenAt) / float64(r.req.Output-1)
+	}
+	s.metrics = append(s.metrics, RequestMetrics{
+		ID:       r.req.ID,
+		TTFT:     ttft,
+		TPOT:     tpot,
+		EndToEnd: now - r.req.Arrival,
+	})
+}
+
+// recordKV samples the instance's KV utilization.
+func (di *decodeInstance) recordKV(now sim.Time) {
+	util := 0.0
+	if di.kvCap > 0 {
+		util = float64(di.kvUsed) / float64(di.kvCap)
+	}
+	di.series.Add(now, math.Min(util, 1.5)) // clamp runaway force-admissions
+}
+
+// InjectElephants starts n long-lived background transfers ("elephant
+// flows") between deterministic pseudo-random GPU pairs; each lane
+// immediately starts its next transfer when the previous one delivers, until
+// horizon simulated seconds have passed. This models the testbed's traffic
+// replayer sustaining competing load on the fabric (§V). Call before Run.
+func (s *System) InjectElephants(n int, bytes int64, horizon float64, seed int64) {
+	gpus := s.g.GPUs()
+	if len(gpus) < 2 || n <= 0 {
+		return
+	}
+	router := collective.NewStaticRouter(s.g)
+	state := uint64(seed)*0x9e3779b97f4a7c15 + 1
+	next := func(m int) int {
+		state = state*2862933555777941757 + 3037000493
+		return int((state >> 33) % uint64(m))
+	}
+	var launch func(lane int)
+	launch = func(lane int) {
+		if s.eng.Now() >= horizon {
+			return
+		}
+		a := gpus[next(len(gpus))]
+		b := a
+		for b == a {
+			b = gpus[next(len(gpus))]
+		}
+		p, ok := router.Route(a, b, bytes)
+		if !ok {
+			return
+		}
+		s.net.StartFlow(p, bytes, func(*netsim.Flow) { launch(lane) })
+	}
+	for lane := 0; lane < n; lane++ {
+		s.eng.Schedule(0, func() { launch(lane) })
+	}
+}
+
+// InjectBursts schedules background traffic (workload.BurstTrain) as flows
+// between deterministic pseudo-random GPU pairs, reproducing the bursty
+// conditions that congest homogeneous INA (§I). Call before Run.
+func (s *System) InjectBursts(bursts []workload.Burst, seed int64) {
+	gpus := s.g.GPUs()
+	if len(gpus) < 2 {
+		return
+	}
+	router := collective.NewStaticRouter(s.g)
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(n int) int {
+		state = state*2862933555777941757 + 3037000493
+		return int((state >> 33) % uint64(n))
+	}
+	for _, b := range bursts {
+		b := b
+		s.eng.Schedule(b.At, func() {
+			for i := 0; i < b.Flows; i++ {
+				a := gpus[next(len(gpus))]
+				c := gpus[next(len(gpus))]
+				if a == c {
+					continue
+				}
+				if p, ok := router.Route(a, c, b.Bytes); ok {
+					s.net.StartFlow(p, b.Bytes, nil)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,170 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulators in this repository (the flow-level network simulator, the
+// switch data plane, and the end-to-end serving simulator) share one Engine:
+// a priority queue of timestamped events with deterministic FIFO tie-breaking
+// for events scheduled at the same instant. Simulated time is a float64
+// number of seconds; no wall-clock time is ever consulted, so runs are fully
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulated timestamp in seconds since the start of the run.
+type Time = float64
+
+// Forever is a timestamp later than any event the simulator will process.
+// It is convenient as the initial value of "earliest deadline" computations.
+const Forever Time = math.MaxFloat64
+
+// Event is a scheduled callback. The callback runs exactly once, at the
+// event's timestamp, unless the event is cancelled first.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among equal timestamps
+	fn     func()
+	index  int // heap index; -1 when not queued
+	cancel bool
+}
+
+// At returns the simulated time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	// processed counts events that have executed (not cancelled ones).
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a simulator bug, and silently reordering time
+// would corrupt every downstream measurement.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %g before now %g", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.nextSeq, fn: fn, index: -1}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fn to run delay seconds from now. Negative delays panic.
+func (e *Engine) After(delay Time, fn func()) *Event {
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Cancel marks ev so that it will not run. Cancelling an already-executed or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+	}
+}
+
+// Step executes the next pending event. It returns false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if it is ahead of the last event). Events scheduled
+// after deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 {
+		// Peek: queue[0] is the earliest event.
+		next := e.queue[0]
+		if next.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,289 @@
+// Package stats provides the small statistical toolkit shared by the planner,
+// the online scheduler, and the experiment harness: summary statistics,
+// percentiles, SLA attainment, exponentially-weighted and windowed moving
+// averages, and timestamped series for memory-utilization plots.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	Count int
+	Mean  float64
+	Std   float64
+	Min   float64
+	Max   float64
+	P50   float64
+	P90   float64
+	P95   float64
+	P99   float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	n := float64(len(xs))
+	s.Mean = sum / n
+	variance := sq/n - s.Mean*s.Mean
+	if variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = quantileSorted(sorted, 0.50)
+	s.P90 = quantileSorted(sorted, 0.90)
+	s.P95 = quantileSorted(sorted, 0.95)
+	s.P99 = quantileSorted(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between closest ranks. It copies and sorts xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p)
+}
+
+func quantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	rank := p * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := lo + 1
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Attainment returns the fraction of samples <= threshold. The paper's SLA
+// attainment metric is exactly this with threshold = the latency SLA.
+func Attainment(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	met := 0
+	for _, x := range xs {
+		if x <= threshold {
+			met++
+		}
+	}
+	return float64(met) / float64(len(xs))
+}
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// gamma in (0, 1]: v' = (1-gamma)*v + gamma*x. This is the update form the
+// paper uses for the load-penalty function (Eq. 18) and for the K_in/K_out
+// traffic estimates. The zero value is ready to use after SetGamma; use
+// NewEWMA for convenience.
+type EWMA struct {
+	gamma  float64
+	value  float64
+	primed bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. Gamma outside
+// (0, 1] panics: it is a programming error, not an input condition.
+func NewEWMA(gamma float64) *EWMA {
+	if gamma <= 0 || gamma > 1 {
+		panic(fmt.Sprintf("stats: EWMA gamma %g out of (0,1]", gamma))
+	}
+	return &EWMA{gamma: gamma}
+}
+
+// Observe folds x into the average. The first observation initializes the
+// average to x exactly (rather than decaying from zero).
+func (e *EWMA) Observe(x float64) {
+	if !e.primed {
+		e.value = x
+		e.primed = true
+		return
+	}
+	e.value = (1-e.gamma)*e.value + e.gamma*x
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Primed reports whether at least one observation has been folded in.
+func (e *EWMA) Primed() bool { return e.primed }
+
+// Window is a fixed-capacity sliding-window mean, used for the moving-average
+// K_in/K_out estimates in the system model (paper §III-B).
+type Window struct {
+	buf  []float64
+	next int
+	full bool
+	sum  float64
+}
+
+// NewWindow returns a sliding window holding the latest n observations.
+func NewWindow(n int) *Window {
+	if n <= 0 {
+		panic("stats: window size must be positive")
+	}
+	return &Window{buf: make([]float64, n)}
+}
+
+// Observe appends x, evicting the oldest sample once the window is full.
+func (w *Window) Observe(x float64) {
+	if w.full {
+		w.sum -= w.buf[w.next]
+	}
+	w.buf[w.next] = x
+	w.sum += x
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+}
+
+// Len returns the number of samples currently held.
+func (w *Window) Len() int {
+	if w.full {
+		return len(w.buf)
+	}
+	return w.next
+}
+
+// Mean returns the mean of the held samples (0 when empty).
+func (w *Window) Mean() float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	return w.sum / float64(n)
+}
+
+// Point is a timestamped sample in a Series.
+type Point struct {
+	T Time
+	V float64
+}
+
+// Time aliases the simulator's float64-seconds timestamps so that stats does
+// not import the sim package.
+type Time = float64
+
+// Series is an append-only timestamped sample sequence (memory-utilization
+// curves, throughput over time, ...).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point. Timestamps are expected nondecreasing; Add does not
+// enforce it because resampling tolerates disorder.
+func (s *Series) Add(t Time, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Mean returns the time-weighted mean of the series between its first and
+// last timestamps, treating the value as a step function (each point's value
+// holds until the next point). A series with fewer than two points returns
+// the plain mean of its values.
+func (s *Series) Mean() float64 {
+	n := len(s.Points)
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return s.Points[0].V
+	}
+	var area, span float64
+	for i := 0; i+1 < n; i++ {
+		dt := s.Points[i+1].T - s.Points[i].T
+		if dt < 0 {
+			dt = 0
+		}
+		area += s.Points[i].V * dt
+		span += dt
+	}
+	if span == 0 {
+		var sum float64
+		for _, p := range s.Points {
+			sum += p.V
+		}
+		return sum / float64(n)
+	}
+	return area / span
+}
+
+// Max returns the maximum value in the series (0 when empty).
+func (s *Series) Max() float64 {
+	var m float64
+	for i, p := range s.Points {
+		if i == 0 || p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Resample returns n values sampled at uniform times across the series span,
+// holding each point's value until the next (step interpolation). Useful for
+// printing fixed-width figure series regardless of event density.
+func (s *Series) Resample(n int) []float64 {
+	if n <= 0 || len(s.Points) == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	t0 := s.Points[0].T
+	t1 := s.Points[len(s.Points)-1].T
+	if t1 <= t0 {
+		for i := range out {
+			out[i] = s.Points[len(s.Points)-1].V
+		}
+		return out
+	}
+	j := 0
+	for i := 0; i < n; i++ {
+		t := t0 + (t1-t0)*float64(i)/float64(n-1)
+		for j+1 < len(s.Points) && s.Points[j+1].T <= t {
+			j++
+		}
+		out[i] = s.Points[j].V
+	}
+	return out
+}

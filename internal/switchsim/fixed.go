@@ -1,0 +1,72 @@
+// Package switchsim simulates the programmable-switch agent of §IV: a data
+// plane holding a pool of fixed-size aggregator slots addressed through an
+// exact-match aggregation table, with fixed-point integer vector aggregation
+// and contribution counters, plus the control-plane API the central scheduler
+// uses to allocate/recycle slots and poll hardware counters.
+//
+// Two aggregation disciplines are provided, matching the paper's baselines:
+// synchronous SwitchML-style slots (a job owns a slot window; a chunk whose
+// slot is still busy with the previous round is dropped for retransmission)
+// and asynchronous ATP-style slots (jobs contend for the shared pool by
+// hashing; a chunk that loses the slot race falls back to end-host
+// aggregation).
+package switchsim
+
+import "math"
+
+// FixedShift is the binary scaling of the fixed-point representation used by
+// the data plane. Tofino ALUs aggregate 32-bit integers; gradients and
+// activations are pre-scaled by 2^FixedShift on the workers.
+const FixedShift = 16
+
+const (
+	fixedOne = int64(1) << FixedShift
+	maxInt32 = int64(math.MaxInt32)
+	minInt32 = int64(math.MinInt32)
+)
+
+// ToFixed converts a float to the switch's fixed-point representation with
+// saturation at the int32 range (the hardware behaviour on overflow).
+func ToFixed(f float64) int32 {
+	v := int64(math.RoundToEven(f * float64(fixedOne)))
+	return sat32(v)
+}
+
+// FromFixed converts a fixed-point value back to float.
+func FromFixed(v int32) float64 {
+	return float64(v) / float64(fixedOne)
+}
+
+// AddSat adds two fixed-point values with saturation, the per-element
+// operation of the aggregation ALU.
+func AddSat(a, b int32) int32 {
+	return sat32(int64(a) + int64(b))
+}
+
+func sat32(v int64) int32 {
+	if v > maxInt32 {
+		return math.MaxInt32
+	}
+	if v < minInt32 {
+		return math.MinInt32
+	}
+	return int32(v)
+}
+
+// QuantizeVector converts a float vector into fixed point.
+func QuantizeVector(xs []float64) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		out[i] = ToFixed(x)
+	}
+	return out
+}
+
+// DequantizeVector converts a fixed-point vector back to floats.
+func DequantizeVector(xs []int32) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = FromFixed(x)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package switchsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream simulates a windowed, chunk-granular aggregation stream through the
+// data plane: the packet-level protocol that SwitchML-style INA runs, with
+// every chunk individually ingested (so slot contention, retransmission, and
+// completion semantics are exercised exactly), timed under a simple
+// link/RTT model. It exists to validate the flow-level window-cap
+// approximation used by the collective layer (SyncGoodput): the streaming
+// goodput measured here must match that closed form.
+//
+// Protocol per worker: keep at most `window` chunks in flight; a chunk
+// occupies its slot from first contribution until the switch multicasts the
+// aggregate back (one RTT later for the last contributor); a dropped chunk
+// (slot busy) is retransmitted after one RTT.
+type Stream struct {
+	sw      *Switch
+	job     JobID
+	mode    Mode
+	workers int
+	window  int
+
+	// Timing model.
+	rtt     float64 // worker -> switch -> worker, seconds
+	linkBW  float64 // per-worker link bandwidth, bytes/s
+	entrySz int     // bytes per chunk
+}
+
+// StreamResult summarizes one streamed aggregation.
+type StreamResult struct {
+	Chunks      int64
+	Elapsed     float64 // seconds until the last aggregate was delivered
+	Goodput     float64 // aggregated payload bytes per second
+	Retransmits int64
+	Completes   int64
+}
+
+// NewStream registers a streaming job on the switch. window is the per-job
+// in-flight chunk budget requested from the control plane; the granted
+// window applies for sync mode.
+func NewStream(sw *Switch, job JobID, mode Mode, workers, window int, rtt, linkBW float64) (*Stream, error) {
+	if rtt <= 0 || linkBW <= 0 {
+		return nil, fmt.Errorf("switchsim: stream needs positive rtt and bandwidth")
+	}
+	granted, err := sw.RegisterJob(job, mode, workers, window)
+	if err != nil {
+		return nil, err
+	}
+	if mode == ModeSync {
+		if granted == 0 {
+			sw.ReleaseJob(job)
+			return nil, fmt.Errorf("switchsim: no aggregator slots available")
+		}
+		window = granted
+	}
+	return &Stream{
+		sw: sw, job: job, mode: mode, workers: workers, window: window,
+		rtt: rtt, linkBW: linkBW, entrySz: sw.EntryBytes(),
+	}, nil
+}
+
+// Close releases the stream's control-plane state.
+func (s *Stream) Close() { s.sw.ReleaseJob(s.job) }
+
+// chunkEvent is a pending protocol action in the stream's event list.
+type chunkEvent struct {
+	at     float64
+	seq    int64
+	worker int
+}
+
+// skew returns a deterministic per-(seq, worker) send jitter in [0, rtt/4):
+// real tensor-parallel ranks never contribute in perfect lockstep, and the
+// resulting slot-occupancy windows are what create async collisions.
+func (s *Stream) skew(seq int64, worker int) float64 {
+	return float64(hash2(uint64(seq)*31+uint64(worker)+1, 0xabcdef)%1024) / 1024 * s.rtt / 4
+}
+
+// Run streams totalBytes through the switch and returns the measured result.
+// Each worker keeps up to `window` chunks outstanding; sends serialize on
+// the worker's uplink; a chunk's contribution reaches the switch one uplink
+// latency (rtt/2) after serialization; the aggregate multicast returns one
+// downlink latency later and frees the window slot. Events are processed in
+// deterministic time order.
+func (s *Stream) Run(totalBytes int64) (StreamResult, error) {
+	if totalBytes <= 0 {
+		return StreamResult{}, fmt.Errorf("switchsim: stream of %d bytes", totalBytes)
+	}
+	chunks := totalBytes / int64(s.entrySz)
+	if totalBytes%int64(s.entrySz) != 0 {
+		chunks++
+	}
+	serial := float64(s.entrySz) / s.linkBW // per-chunk serialization time
+
+	var res StreamResult
+	res.Chunks = chunks
+
+	// Pending switch-arrival events, kept sorted by (time, seq, worker).
+	var events []chunkEvent
+	push := func(e chunkEvent) { events = append(events, e) }
+	pop := func() chunkEvent {
+		sort.Slice(events, func(i, j int) bool {
+			if events[i].at != events[j].at {
+				return events[i].at < events[j].at
+			}
+			if events[i].seq != events[j].seq {
+				return events[i].seq < events[j].seq
+			}
+			return events[i].worker < events[j].worker
+		})
+		e := events[0]
+		events = events[1:]
+		return e
+	}
+
+	workerFree := make([]float64, s.workers)
+	// send schedules worker w's transmission of seq no earlier than ready,
+	// respecting uplink serialization, and returns nothing: the event is the
+	// switch arrival.
+	send := func(seq int64, w int, ready float64) {
+		start := ready + s.skew(seq, w)
+		if workerFree[w] > start {
+			start = workerFree[w]
+		}
+		workerFree[w] = start + serial
+		push(chunkEvent{at: start + serial + s.rtt/2, seq: seq, worker: w})
+	}
+
+	inFlight := int64(0)
+	nextSeq := int64(0)
+	for nextSeq < chunks && inFlight < int64(s.window) {
+		for w := 0; w < s.workers; w++ {
+			send(nextSeq, w, 0)
+		}
+		nextSeq++
+		inFlight++
+	}
+
+	vals := make([]int32, 1) // slot semantics are independent of payload width
+	completed := int64(0)
+	var lastDelivery float64
+	for len(events) > 0 {
+		e := pop()
+		vals[0] = int32(e.worker + 1)
+		verdict, _ := s.sw.Ingest(Packet{Job: s.job, Seq: e.seq, Worker: e.worker, Values: vals})
+		switch verdict {
+		case VerdictDrop:
+			// Slot busy: the worker learns after the downlink NACK and
+			// retransmits.
+			res.Retransmits++
+			send(e.seq, e.worker, e.at+s.rtt/2)
+		case VerdictComplete:
+			res.Completes++
+			completed++
+			inFlight--
+			delivery := e.at + s.rtt/2 // multicast crosses the downlink
+			if delivery > lastDelivery {
+				lastDelivery = delivery
+			}
+			// The freed window admits the next chunk on every worker.
+			if nextSeq < chunks {
+				for w := 0; w < s.workers; w++ {
+					send(nextSeq, w, delivery)
+				}
+				nextSeq++
+				inFlight++
+			}
+		case VerdictAbsorbed, VerdictStale:
+			// Waiting for the remaining contributors.
+		}
+	}
+	if completed != chunks {
+		return res, fmt.Errorf("switchsim: stream stalled at %d/%d chunks", completed, chunks)
+	}
+	res.Elapsed = lastDelivery
+	res.Goodput = float64(totalBytes) / res.Elapsed
+	return res, nil
+}
+
+// PredictGoodput returns the closed-form window-cap estimate the collective
+// layer uses for this stream's parameters (SyncGoodput), for comparison
+// against measured streaming goodput.
+func (s *Stream) PredictGoodput() float64 {
+	return SyncGoodput(s.window, s.entrySz, s.rtt, s.linkBW)
+}
+
+// MinElapsed returns the closed-form lower bound on streaming totalBytes.
+func (s *Stream) MinElapsed(totalBytes int64) float64 {
+	g := s.PredictGoodput()
+	if g <= 0 {
+		return math.Inf(1)
+	}
+	return float64(totalBytes) / g
+}

@@ -1,0 +1,150 @@
+package switchsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamLinkBoundMatchesPrediction(t *testing.T) {
+	// Big window, so the link (not the slot window) is the bottleneck:
+	// goodput must approach linkBW.
+	sw := New("sw", 512, 1024)
+	st, err := NewStream(sw, 1, ModeSync, 4, 256, 10e-6, 12.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	res, err := st.Run(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retransmits != 0 {
+		t.Errorf("retransmits = %d on an uncontended stream", res.Retransmits)
+	}
+	if res.Completes != res.Chunks {
+		t.Errorf("completes %d != chunks %d", res.Completes, res.Chunks)
+	}
+	pred := st.PredictGoodput()
+	if rel := math.Abs(res.Goodput-pred) / pred; rel > 0.15 {
+		t.Errorf("link-bound goodput %.3g vs predicted %.3g (%.1f%% off)", res.Goodput, pred, rel*100)
+	}
+}
+
+func TestStreamWindowBoundMatchesPrediction(t *testing.T) {
+	// Tiny window over a long RTT: the slot pipeline is the bottleneck, and
+	// the measured goodput must match SyncGoodput's closed form — this
+	// validates the cap the collective layer applies to simulated INA.
+	sw := New("sw", 512, 1024)
+	st, err := NewStream(sw, 1, ModeSync, 4, 8, 50e-6, 12.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	res, err := st.Run(2 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := st.PredictGoodput() // 8 * 1024 / 50us = 163.84 MB/s
+	if pred >= 12.5e9 {
+		t.Fatalf("test misconfigured: window not binding (pred %.3g)", pred)
+	}
+	if rel := math.Abs(res.Goodput-pred) / pred; rel > 0.2 {
+		t.Errorf("window-bound goodput %.3g vs predicted %.3g (%.1f%% off)", res.Goodput, pred, rel*100)
+	}
+	// The closed-form lower bound must hold.
+	if res.Elapsed < st.MinElapsed(2<<20)*0.8 {
+		t.Errorf("stream finished impossibly fast: %.3g < %.3g", res.Elapsed, st.MinElapsed(2<<20))
+	}
+}
+
+func TestStreamSeqCollisionRetransmits(t *testing.T) {
+	// Window larger than the granted slots cannot happen in sync mode (the
+	// grant clips it), but async mode hashes into the shared pool: with a
+	// 2-slot pool and multiple in-flight rounds, collisions must occur and
+	// resolve through retransmission.
+	sw := New("sw", 2, 1024)
+	st, err := NewStream(sw, 1, ModeAsync, 2, 8, 10e-6, 12.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	res, err := st.Run(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completes != res.Chunks {
+		t.Errorf("stream lost chunks: %d/%d", res.Completes, res.Chunks)
+	}
+	if res.Retransmits == 0 {
+		t.Error("expected collisions on a 2-slot async pool")
+	}
+}
+
+func TestStreamGrantClipsWindow(t *testing.T) {
+	sw := New("sw", 16, 1024)
+	st, err := NewStream(sw, 1, ModeSync, 2, 1024, 10e-6, 12.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.window != 16 {
+		t.Errorf("window = %d, want clipped to pool 16", st.window)
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	sw := New("sw", 16, 1024)
+	if _, err := NewStream(sw, 1, ModeSync, 2, 8, 0, 1e9); err == nil {
+		t.Error("zero rtt accepted")
+	}
+	if _, err := NewStream(sw, 1, ModeSync, 2, 8, 1e-6, 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	// Exhaust the pool: a second sync stream gets nothing.
+	st, err := NewStream(sw, 1, ModeSync, 2, 16, 1e-6, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := NewStream(sw, 2, ModeSync, 2, 16, 1e-6, 1e9); err == nil {
+		t.Error("slotless stream accepted")
+	}
+	if _, err := st.Run(0); err == nil {
+		t.Error("zero-byte stream accepted")
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	run := func() StreamResult {
+		sw := New("sw", 32, 1024)
+		st, err := NewStream(sw, 1, ModeSync, 3, 16, 10e-6, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		res, err := st.Run(256 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("non-deterministic stream: %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkStreamRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sw := New("sw", 128, 1024)
+		st, err := NewStream(sw, 1, ModeSync, 4, 64, 10e-6, 12.5e9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Run(1 << 20); err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+	}
+}

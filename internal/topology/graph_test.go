@@ -1,0 +1,165 @@
+package topology
+
+import (
+	"testing"
+)
+
+// line builds a simple chain topology a-b-c-... with the given bandwidths.
+func line(t *testing.T, bws ...float64) (*Graph, []NodeID) {
+	t.Helper()
+	g := NewGraph()
+	ids := make([]NodeID, len(bws)+1)
+	for i := range ids {
+		ids[i] = g.AddNode(Node{Kind: KindGPU, Server: i})
+	}
+	for i, bw := range bws {
+		g.AddEdge(ids[i], ids[i+1], LinkEthernet, bw, 1e-6)
+	}
+	return g, ids
+}
+
+func TestAddNodeIndexes(t *testing.T) {
+	g := NewGraph()
+	gpu := g.AddNode(Node{Kind: KindGPU, Server: 3, GPUType: "A100", MemoryBytes: 40 * GiB, FreeBytes: 40 * GiB})
+	sw := g.AddNode(Node{Kind: KindAccessSwitch, INASlots: 16})
+	host := g.AddNode(Node{Kind: KindHost, Server: 99})
+
+	if len(g.GPUs()) != 1 || g.GPUs()[0] != gpu {
+		t.Errorf("GPUs() = %v", g.GPUs())
+	}
+	if len(g.Switches()) != 1 || g.Switches()[0] != sw {
+		t.Errorf("Switches() = %v", g.Switches())
+	}
+	if g.Node(host).Server != -1 {
+		t.Error("non-GPU Server not normalized to -1")
+	}
+	if got := g.ServerGPUs(3); len(got) != 1 || got[0] != gpu {
+		t.Errorf("ServerGPUs(3) = %v", got)
+	}
+	if g.NumServers() != 1 {
+		t.Errorf("NumServers = %d", g.NumServers())
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	g, ids := line(t, 1e9)
+	e := g.Edge(0)
+	if e.Other(ids[0]) != ids[1] || e.Other(ids[1]) != ids[0] {
+		t.Error("Other wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Other on non-endpoint did not panic")
+		}
+	}()
+	e.Other(NodeID(99))
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(Node{Kind: KindGPU})
+	for _, fn := range []func(){
+		func() { g.AddEdge(a, a, LinkNVLink, 1, 0) },
+		func() { g.AddEdge(a, NodeID(5), LinkNVLink, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad AddEdge did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEdgeBetweenPrefersMoreAvailable(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(Node{Kind: KindGPU, Server: 0})
+	b := g.AddNode(Node{Kind: KindGPU, Server: 0})
+	e1 := g.AddEdge(a, b, LinkEthernet, 10, 0)
+	e2 := g.AddEdge(a, b, LinkEthernet, 20, 0)
+	if got, ok := g.EdgeBetween(a, b); !ok || got != e2 {
+		t.Errorf("EdgeBetween = %v, want %v", got, e2)
+	}
+	g.Edge(e2).Available = 5
+	if got, _ := g.EdgeBetween(a, b); got != e1 {
+		t.Errorf("EdgeBetween after drain = %v, want %v", got, e1)
+	}
+	if _, ok := g.EdgeBetween(a, a); ok {
+		t.Error("EdgeBetween(a,a) should not find an edge")
+	}
+}
+
+func TestResetAvailable(t *testing.T) {
+	g, _ := line(t, 100, 200)
+	g.Edge(0).Available = 1
+	g.Edge(1).Available = 2
+	g.ResetAvailable()
+	if g.Edge(0).Available != 100 || g.Edge(1).Available != 200 {
+		t.Error("ResetAvailable did not restore capacity")
+	}
+}
+
+func TestSameServer(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(Node{Kind: KindGPU, Server: 1})
+	b := g.AddNode(Node{Kind: KindGPU, Server: 1})
+	c := g.AddNode(Node{Kind: KindGPU, Server: 2})
+	sw := g.AddNode(Node{Kind: KindAccessSwitch})
+	if !g.SameServer(a, b) {
+		t.Error("a,b should share a server")
+	}
+	if g.SameServer(a, c) || g.SameServer(a, sw) {
+		t.Error("false positives in SameServer")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g, _ := line(t, 100)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	g.Edge(0).Available = 1000 // > capacity
+	if err := g.Validate(); err == nil {
+		t.Error("available > capacity not caught")
+	}
+	g.Edge(0).Available = 100
+	g.Edge(0).Capacity = 0
+	if err := g.Validate(); err == nil {
+		t.Error("zero capacity not caught")
+	}
+}
+
+func TestTotalFreeGPUMemory(t *testing.T) {
+	g := NewGraph()
+	g.AddNode(Node{Kind: KindGPU, Server: 0, FreeBytes: 10})
+	g.AddNode(Node{Kind: KindGPU, Server: 0, FreeBytes: 20})
+	g.AddNode(Node{Kind: KindAccessSwitch})
+	if got := g.TotalFreeGPUMemory(); got != 30 {
+		t.Errorf("TotalFreeGPUMemory = %d, want 30", got)
+	}
+}
+
+func TestNodeKindStrings(t *testing.T) {
+	cases := map[NodeKind]string{
+		KindGPU: "gpu", KindAccessSwitch: "access-switch",
+		KindCoreSwitch: "core-switch", KindHost: "host",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !KindAccessSwitch.IsSwitch() || !KindCoreSwitch.IsSwitch() || KindGPU.IsSwitch() {
+		t.Error("IsSwitch wrong")
+	}
+	links := map[LinkKind]string{
+		LinkEthernet: "ethernet", LinkNVLink: "nvlink", LinkPCIe: "pcie", LinkTrunk: "trunk",
+	}
+	for k, want := range links {
+		if k.String() != want {
+			t.Errorf("LinkKind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+}

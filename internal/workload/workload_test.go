@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+
+	"heroserve/internal/stats"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := NewGenerator(Chatbot, 1).Generate(50, 2)
+	b := NewGenerator(Chatbot, 1).Generate(50, 2)
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	c := NewGenerator(Chatbot, 2).Generate(50, 2)
+	same := true
+	for i := range a.Requests {
+		if a.Requests[i] != c.Requests[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestArrivalsSortedAndRateRoughlyRight(t *testing.T) {
+	tr := NewGenerator(Chatbot, 3).Generate(5000, 10)
+	times := make([]float64, len(tr.Requests))
+	for i, r := range tr.Requests {
+		times[i] = r.Arrival
+	}
+	if !sort.Float64sAreSorted(times) {
+		t.Fatal("arrivals not sorted")
+	}
+	rate := float64(len(times)) / tr.Duration()
+	if rate < 9 || rate > 11 {
+		t.Errorf("realized rate = %g, want ~10", rate)
+	}
+}
+
+func TestChatbotLengthStatistics(t *testing.T) {
+	tr := NewGenerator(Chatbot, 4).Generate(20000, 1)
+	var in, out []float64
+	for _, r := range tr.Requests {
+		in = append(in, float64(r.Input))
+		out = append(out, float64(r.Output))
+		if r.Input < 4 || r.Input > 2048 {
+			t.Fatalf("chatbot input %d outside clamp", r.Input)
+		}
+		if r.Output < 4 || r.Output > 1024 {
+			t.Fatalf("chatbot output %d outside clamp", r.Output)
+		}
+	}
+	meanIn := stats.Mean(in)
+	if meanIn < 150 || meanIn > 350 {
+		t.Errorf("chatbot mean input = %g, want a few hundred tokens", meanIn)
+	}
+	meanOut := stats.Mean(out)
+	if meanOut < 150 || meanOut > 350 {
+		t.Errorf("chatbot mean output = %g", meanOut)
+	}
+}
+
+func TestSummarizationLengthStatistics(t *testing.T) {
+	tr := NewGenerator(Summarization, 5).Generate(20000, 1)
+	var in, out []float64
+	for _, r := range tr.Requests {
+		in = append(in, float64(r.Input))
+		out = append(out, float64(r.Output))
+	}
+	meanIn := stats.Mean(in)
+	if meanIn < 6000 || meanIn > 12000 {
+		t.Errorf("summarization mean input = %g, want ~9k tokens", meanIn)
+	}
+	meanOut := stats.Mean(out)
+	if meanOut < 100 || meanOut > 300 {
+		t.Errorf("summarization mean output = %g, want short summaries", meanOut)
+	}
+	// Summaries are much shorter than documents.
+	if meanOut*10 > meanIn {
+		t.Error("summarization outputs should be far shorter than inputs")
+	}
+}
+
+func TestMeanHelpersConsistent(t *testing.T) {
+	if MeanInput(Summarization) <= MeanInput(Chatbot) {
+		t.Error("summarization inputs should be longer on average")
+	}
+	if math.Abs(MeanInput(Chatbot)-math.Exp(5.5)) > 1 {
+		t.Errorf("MeanInput(Chatbot) = %g", MeanInput(Chatbot))
+	}
+	if Chatbot.String() != "chatbot" || Summarization.String() != "summarization" {
+		t.Error("kind strings")
+	}
+}
+
+func TestBatchStats(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{Input: 10, Output: 5},
+		{Input: 20, Output: 7},
+	}}
+	s := tr.BatchStats(2)
+	if s.Kin != 30 || s.Kin2 != 100+400 || s.Kout != 12 || s.Q != 2 {
+		t.Errorf("BatchStats = %+v", s)
+	}
+	// Cyclic extension for q > len.
+	s3 := tr.BatchStats(3)
+	if s3.Kin != 40 {
+		t.Errorf("cyclic Kin = %d, want 40", s3.Kin)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty trace accepted")
+		}
+	}()
+	(&Trace{}).BatchStats(1)
+}
+
+func TestGeneratePanicsOnBadCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewGenerator(Chatbot, 1).Generate(0, 1)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := NewGenerator(Summarization, 6).Generate(20, 0.5)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || len(got.Requests) != len(tr.Requests) {
+		t.Fatal("round trip lost data")
+	}
+	for i := range tr.Requests {
+		if got.Requests[i] != tr.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+	if _, err := Decode(bytes.NewReader([]byte("{bad"))); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestEstimator(t *testing.T) {
+	e := NewEstimator(4)
+	if e.Primed() {
+		t.Error("fresh estimator primed")
+	}
+	e.Observe(100, 50)
+	e.Observe(200, 70)
+	s := e.Batch(10)
+	if s.Kin != 1500 {
+		t.Errorf("Kin = %d, want 1500", s.Kin)
+	}
+	if s.Kout != 600 {
+		t.Errorf("Kout = %d, want 600", s.Kout)
+	}
+	if s.Kin2 != int64((100*100+200*200)/2*10) {
+		t.Errorf("Kin2 = %d", s.Kin2)
+	}
+	if !e.Primed() {
+		t.Error("estimator not primed after observations")
+	}
+	// Window slides: old observations evicted.
+	for i := 0; i < 4; i++ {
+		e.Observe(300, 30)
+	}
+	if got := e.Batch(1).Kin; got != 300 {
+		t.Errorf("windowed Kin = %d, want 300", got)
+	}
+}
+
+func TestDurationEmptyTrace(t *testing.T) {
+	if (&Trace{}).Duration() != 0 {
+		t.Error("empty trace duration")
+	}
+}
+
+func TestBurstTrain(t *testing.T) {
+	bursts := BurstTrain(1, 100, 0.5, 4, 1<<20)
+	if len(bursts) == 0 {
+		t.Fatal("no bursts")
+	}
+	prev := 0.0
+	for _, b := range bursts {
+		if b.At <= prev || b.At > 100 {
+			t.Fatalf("burst at %g out of order/horizon", b.At)
+		}
+		prev = b.At
+		if b.Flows < 1 || b.Flows > 8 {
+			t.Fatalf("burst flows = %d", b.Flows)
+		}
+		if b.Bytes != 1<<20 {
+			t.Fatalf("burst bytes = %d", b.Bytes)
+		}
+	}
+	// ~0.5 bursts/s over 100 s: expect within loose bounds.
+	if len(bursts) < 25 || len(bursts) > 90 {
+		t.Errorf("burst count = %d, want ~50", len(bursts))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad parameters accepted")
+		}
+	}()
+	BurstTrain(1, -1, 1, 1, 1)
+}
