@@ -353,19 +353,38 @@ func BenchmarkHeteroAllReduce64MB(b *testing.B) {
 	}
 }
 
-// BenchmarkSwitchDataPlane measures the simulated Tofino ingest path.
+// BenchmarkSwitchDataPlane measures the simulated Tofino ingest path. The
+// packet stream is a precomputed fixed cycle (one full slot window of
+// complete aggregation rounds), so the per-op work mix is identical no
+// matter what b.N -benchtime settles on — deriving the stream from the loop
+// variable instead would shift the slot/completion cadence with b.N and make
+// runs at different -benchtime values measure different workloads.
 func BenchmarkSwitchDataPlane(b *testing.B) {
+	const (
+		workers = 8
+		window  = 128
+	)
 	sw := switchsim.New("bench", 512, switchsim.DefaultEntryBytes)
-	if _, err := sw.RegisterJob(1, switchsim.ModeSync, 8, 128); err != nil {
+	if _, err := sw.RegisterJob(1, switchsim.ModeSync, workers, window); err != nil {
 		b.Fatal(err)
 	}
 	vals := make([]int32, sw.EntryElems())
 	for i := range vals {
 		vals[i] = int32(i)
 	}
+	pkts := make([]switchsim.Packet, workers*window)
+	for j := range pkts {
+		pkts[j] = switchsim.Packet{Job: 1, Seq: int64(j / workers), Worker: j % workers, Values: vals}
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var seqBase int64
 	for i := 0; i < b.N; i++ {
-		sw.Ingest(switchsim.Packet{Job: 1, Seq: int64(i / 8), Worker: i % 8, Values: vals})
+		p := pkts[i%len(pkts)]
+		p.Seq += seqBase
+		sw.Ingest(p)
+		if (i+1)%len(pkts) == 0 {
+			seqBase += window
+		}
 	}
 }

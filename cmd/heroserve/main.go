@@ -39,6 +39,7 @@ var registry = []struct {
 	{"ext-pcie", "future work: NUMA-aware PCIe pre-reduction", experiments.ExtPCIe},
 	{"ext-scale", "future work: rapid decode-instance scaling in/out", experiments.ExtScale},
 	{"crossover", "scheme crossover study: ring vs INA vs hetero by size", experiments.Crossover},
+	{"faults", "fault resilience: SLA attainment under injected faults", experiments.FaultsExperiment},
 }
 
 func main() {

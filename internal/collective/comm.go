@@ -29,6 +29,14 @@ const maxAsyncPenalty = 0.8
 // (ATP reaches ~90-95% of SwitchML's single-job goodput in the literature).
 const asyncBaseOverhead = 0.05
 
+// rebootFallbackFactor inflates the slot-window goodput cap of an INA
+// operation whose switch rebooted mid-flight: outstanding chunks time out
+// and are re-aggregated on an end host (the ATP-style fallback path), which
+// runs at host-NIC processing speed rather than switch line rate and first
+// has to wait out the per-chunk timeouts. The net effect is roughly a
+// quarter of the reserved-window goodput.
+const rebootFallbackFactor = 4.0
+
 // Counters tallies the communication operations executed, for tests and for
 // the experiment reports.
 type Counters struct {
@@ -38,6 +46,7 @@ type Counters struct {
 	HeteroOps     int64
 	Transfers     int64
 	SlotFallbacks int64 // sync INA ops demoted to ring for lack of slots
+	FaultFallbacks int64 // in-flight INA ops demoted to host aggregation by a switch fault
 	BytesMoved    int64 // payload bytes entering the network (pre-replication)
 }
 
@@ -53,6 +62,10 @@ type Comm struct {
 	// ATP contention model.
 	activeAsync map[topology.NodeID]int
 
+	// inflightINA tracks the in-flight INA operations per switch so that a
+	// switch fault can demote them to the host-aggregation fallback path.
+	inflightINA map[topology.NodeID]map[*inaParams]bool
+
 	counters Counters
 }
 
@@ -64,6 +77,7 @@ func NewComm(net *netsim.Network, router Router) *Comm {
 		router:      router,
 		switches:    make(map[topology.NodeID]*switchsim.Switch),
 		activeAsync: make(map[topology.NodeID]int),
+		inflightINA: make(map[topology.NodeID]map[*inaParams]bool),
 	}
 	g := net.Graph()
 	for _, s := range g.Switches() {
@@ -168,24 +182,28 @@ func (c *Comm) RingAllReduce(group []topology.NodeID, msgBytes int64, steps int,
 	}
 }
 
-// inaParams captures the slot-window throughput model of one INA op.
+// inaParams captures the slot-window throughput model of one INA op. Ops are
+// tracked by pointer while in flight so a switch fault can mutate their
+// penalty (the host-aggregation fallback) mid-operation.
 type inaParams struct {
 	sw      *switchsim.Switch
 	swNode  topology.NodeID
 	job     switchsim.JobID
 	mode    switchsim.Mode
 	window  int
-	penalty float64 // >= 1; async fallback degradation
+	penalty float64 // >= 1; async/fault fallback degradation
 	rtt     float64
+	faulted bool // the switch failed mid-op; penalty already inflated
 }
 
 // prepareINA registers a job on the switch data plane and derives the
-// effective window/penalty. ok is false when a synchronous job cannot get
-// any aggregator slots (the caller falls back to ring).
-func (c *Comm) prepareINA(sw topology.NodeID, fanIn int, mode switchsim.Mode, rtt float64) (inaParams, bool) {
+// effective window/penalty. ok is false when the switch is absent or
+// offline, or when a synchronous job cannot get any aggregator slots (the
+// caller falls back to ring).
+func (c *Comm) prepareINA(sw topology.NodeID, fanIn int, mode switchsim.Mode, rtt float64) (*inaParams, bool) {
 	ds := c.switches[sw]
-	if ds == nil {
-		return inaParams{}, false
+	if ds == nil || !ds.Online() {
+		return nil, false
 	}
 	c.nextJob++
 	job := c.nextJob
@@ -193,11 +211,11 @@ func (c *Comm) prepareINA(sw topology.NodeID, fanIn int, mode switchsim.Mode, rt
 	if err != nil {
 		panic(fmt.Sprintf("collective: register INA job: %v", err))
 	}
-	p := inaParams{sw: ds, swNode: sw, job: job, mode: mode, rtt: rtt}
+	p := &inaParams{sw: ds, swNode: sw, job: job, mode: mode, rtt: rtt}
 	if mode == switchsim.ModeSync {
 		if granted == 0 {
 			ds.ReleaseJob(job)
-			return inaParams{}, false
+			return nil, false
 		}
 		p.window = granted
 		p.penalty = 1
@@ -215,20 +233,44 @@ func (c *Comm) prepareINA(sw topology.NodeID, fanIn int, mode switchsim.Mode, rt
 		p.penalty = 1 + asyncBaseOverhead + collide
 		c.activeAsync[sw]++
 	}
+	ops := c.inflightINA[sw]
+	if ops == nil {
+		ops = make(map[*inaParams]bool)
+		c.inflightINA[sw] = ops
+	}
+	ops[p] = true
 	return p, true
 }
 
 // finishINA releases control-plane state.
-func (c *Comm) finishINA(p inaParams) {
+func (c *Comm) finishINA(p *inaParams) {
 	p.sw.ReleaseJob(p.job)
 	if p.mode == switchsim.ModeAsync {
 		c.activeAsync[p.swNode]--
+	}
+	delete(c.inflightINA[p.swNode], p)
+}
+
+// NotifySwitchFault demotes every INA operation currently in flight at the
+// switch to the host-aggregation fallback path: the workers' outstanding
+// chunks time out against the wiped data plane and are re-aggregated
+// end-host side at rebootFallbackFactor times the reserved-window cost.
+// Fault injection calls this when a switch reboots; each op is penalized at
+// most once.
+func (c *Comm) NotifySwitchFault(sw topology.NodeID) {
+	for p := range c.inflightINA[sw] {
+		if p.faulted {
+			continue
+		}
+		p.faulted = true
+		p.penalty *= rebootFallbackFactor
+		c.counters.FaultFallbacks++
 	}
 }
 
 // exerciseDataPlane pushes one representative aggregation round through the
 // switch so the data plane's counters and semantics stay on the hot path.
-func (c *Comm) exerciseDataPlane(p inaParams, fanIn int) {
+func (c *Comm) exerciseDataPlane(p *inaParams, fanIn int) {
 	vals := make([]int32, 4)
 	for w := 0; w < fanIn; w++ {
 		for i := range vals {
@@ -242,7 +284,7 @@ func (c *Comm) exerciseDataPlane(p inaParams, fanIn int) {
 }
 
 // inaGoodput returns the window-limited aggregation goodput in bytes/second.
-func (p inaParams) inaGoodput() float64 {
+func (p *inaParams) inaGoodput() float64 {
 	return switchsim.SyncGoodput(p.window, p.sw.EntryBytes(), p.rtt, math.Inf(1))
 }
 

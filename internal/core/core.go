@@ -7,6 +7,7 @@ package core
 
 import (
 	"heroserve/internal/collective"
+	"heroserve/internal/faults"
 	"heroserve/internal/netsim"
 	"heroserve/internal/planner"
 	"heroserve/internal/scheduler"
@@ -36,6 +37,11 @@ type OnlinePolicy struct {
 	ctl    *scheduler.Controller
 	// Hetero can be disabled for ablations (Ethernet-only online choice).
 	Hetero bool
+	// Injector, when non-nil, is the run's fault injector: the lazily created
+	// controller registers with it as a Staller (GPU-agent stall faults skip
+	// its refresh rounds) and consults switch health during refresh. Set by
+	// core.NewSystem; harmless to leave nil on fault-free runs.
+	Injector *faults.Injector
 }
 
 // NewOnlinePolicy returns the policy with the given scheduler config.
@@ -83,6 +89,17 @@ func (p *OnlinePolicy) table(ctx *serving.GroupCtx, msgBytes int64) *scheduler.T
 	p.tables[ctx.ID] = t
 	if p.ctl == nil {
 		p.ctl = scheduler.NewController(ctx.Comm.Network(), ControllerInterval)
+		comm := ctx.Comm
+		p.ctl.BindSwitchHealth(func(sw topology.NodeID) bool {
+			ds := comm.Switch(sw)
+			// Only fault conditions (offline, slots seized by a competing
+			// tenant) mark a switch unhealthy; organic full occupancy is
+			// normal load and already priced by the slot-fallback path.
+			return ds != nil && ds.Online() && ds.PoolSize() > ds.SeizedSlots()
+		})
+		if p.Injector != nil {
+			p.Injector.RegisterStaller(p.ctl)
+		}
 	}
 	p.ctl.Register(t)
 	p.ctl.Start()
@@ -96,10 +113,33 @@ func (p *OnlinePolicy) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps in
 	pol := t.Policies[idx]
 	sw := pol.Switch
 	scheme := pol.Scheme
-	if scheme.UsesINA() && sw < 0 {
+	if scheme.UsesINA() && (sw < 0 || !p.policyAlive(ctx.Comm, &pol)) {
+		// Local data-plane guard: the GPU agent observes its own timeouts
+		// (a blacked-out link on the policy's path, an offline or slot-starved
+		// switch) without waiting for the next control-plane sync — crucial
+		// when a fault coincides with an agent stall that froze the tables.
 		scheme = collective.SchemeRing
+		sw = -1
 	}
 	ctx.Comm.AllReduce(scheme, ctx.Group, sw, msgBytes, steps, done)
+}
+
+// policyAlive reports whether an INA policy's data plane is free of fault
+// conditions: its aggregation switch is online with slots not seized by
+// faults, and none of its planned links is blacked out. Organic slot
+// occupancy is not a fault; the slot-fallback path handles it.
+func (p *OnlinePolicy) policyAlive(comm *collective.Comm, pol *scheduler.Policy) bool {
+	ds := comm.Switch(pol.Switch)
+	if ds == nil || !ds.Online() || ds.PoolSize() <= ds.SeizedSlots() {
+		return false
+	}
+	net := comm.Network()
+	for _, eid := range pol.Edges {
+		if net.LinkDown(eid) {
+			return false
+		}
+	}
+	return true
 }
 
 var _ serving.CommPolicy = (*OnlinePolicy)(nil)
@@ -137,6 +177,7 @@ func NewSystem(in planner.Inputs, plan *planner.Plan, opts serving.Options) (*se
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	pol.Injector = sys.FaultInjector()
 	return sys, plan, pol, nil
 }
 

@@ -63,9 +63,11 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
+	skipUnderRace(t)
 	if testing.Short() {
 		t.Skip("fig9 trials under -short")
 	}
+	t.Parallel()
 	points, err := Fig9Data(Quick, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -108,9 +110,11 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
+	skipUnderRace(t)
 	if testing.Short() {
 		t.Skip("fig10 serving runs under -short")
 	}
+	t.Parallel()
 	tracks, err := Fig10Data(Quick, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -182,9 +186,11 @@ func TestAlg1Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
+	skipUnderRace(t)
 	if testing.Short() {
 		t.Skip("fig7 sweeps under -short")
 	}
+	t.Parallel()
 	data, err := Fig7Data(Quick, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -235,9 +241,11 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	skipUnderRace(t)
 	if testing.Short() {
 		t.Skip("fig8 sweeps under -short")
 	}
+	t.Parallel()
 	tracks, err := Fig8Data(Quick, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -24,6 +24,7 @@ func TestExtScaleShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("serving runs under -short")
 	}
+	t.Parallel()
 	data, err := ExtScaleData(Quick, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -58,6 +59,7 @@ func TestAblationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("serving runs under -short")
 	}
+	t.Parallel()
 	data, err := AblationData(Quick, 1)
 	if err != nil {
 		t.Fatal(err)

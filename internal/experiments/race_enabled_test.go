@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled mirrors the -race build flag so multi-minute sweep tests can
+// skip themselves under the race detector (see skipUnderRace).
+const raceEnabled = true

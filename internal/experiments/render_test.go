@@ -11,9 +11,11 @@ import (
 // (the artifact cmd/heroserve ships). Skipped under -short: it runs the full
 // testbed sweeps.
 func TestFig7ReportRendering(t *testing.T) {
+	skipUnderRace(t)
 	if testing.Short() {
 		t.Skip("fig7 sweeps under -short")
 	}
+	t.Parallel()
 	rep, err := Fig7(Quick, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -31,4 +33,15 @@ func TestFig7ReportRendering(t *testing.T) {
 		}
 	}
 	t.Logf("\n%s", out)
+}
+
+// skipUnderRace skips multi-minute full-sweep regression tests when the
+// race detector is on: its ~4-10x slowdown pushes them past any reasonable
+// CI budget, and the same serving/collective stack is raced by the quick
+// determinism, faults, and report tests that do run.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("full sweep skipped under -race (covered by quick tests)")
+	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"heroserve/internal/baselines"
 	"heroserve/internal/core"
+	"heroserve/internal/faults"
 	"heroserve/internal/planner"
 	"heroserve/internal/serving"
 	"heroserve/internal/workload"
@@ -89,6 +90,8 @@ type runConfig struct {
 	elephants       int
 	elephantBytes   int64
 	elephantHorizon float64
+	// faults, when non-nil, arms a fault schedule on the run.
+	faults *faults.Schedule
 }
 
 // requestsFor sizes a trace to cover roughly horizon seconds of arrivals at
@@ -103,7 +106,7 @@ func requestsFor(rate, horizon float64, minReqs int) int {
 
 // runOnce executes one serving simulation and returns its results.
 func runOnce(cfg runConfig) (*serving.Results, error) {
-	sys, err := buildSystem(cfg.kind, cfg.in, cfg.plan, serving.Options{})
+	sys, err := buildSystem(cfg.kind, cfg.in, cfg.plan, serving.Options{Faults: cfg.faults})
 	if err != nil {
 		return nil, err
 	}

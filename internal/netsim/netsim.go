@@ -16,6 +16,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"heroserve/internal/sim"
 	"heroserve/internal/topology"
@@ -56,6 +57,11 @@ type Network struct {
 	linkFlows [][]FlowID // edge id -> active flow ids
 	nextID    FlowID
 
+	// linkScale scales each edge's capacity for fault injection: 1 is a
+	// healthy link, 0 a blacked-out one. Lazily allocated by SetLinkScale so
+	// fault-free simulations pay nothing.
+	linkScale []float64
+
 	// Telemetry, indexed by edge id.
 	bytesCarried []float64 // cumulative, the "hardware counters" of §IV
 	lastCharge   sim.Time
@@ -74,6 +80,57 @@ func New(g *topology.Graph, eng *sim.Engine) *Network {
 
 // Graph returns the underlying topology graph.
 func (n *Network) Graph() *topology.Graph { return n.g }
+
+// SetLinkScale scales the effective capacity of an edge to frac of its
+// nominal capacity (1 = healthy, 0 = blackout). All flow rates are
+// recomputed immediately: flows crossing a blacked-out link stall at rate
+// zero until the link recovers. frac outside [0, 1] is clamped.
+func (n *Network) SetLinkScale(eid topology.EdgeID, frac float64) {
+	if frac < 0 {
+		frac = 0
+	} else if frac > 1 {
+		frac = 1
+	}
+	if n.linkScale == nil {
+		if frac == 1 {
+			return
+		}
+		n.linkScale = make([]float64, n.g.NumEdges())
+		for i := range n.linkScale {
+			n.linkScale[i] = 1
+		}
+	}
+	if n.linkScale[eid] == frac {
+		return
+	}
+	n.charge()
+	n.linkScale[eid] = frac
+	n.reallocate()
+}
+
+// LinkScale returns the edge's current capacity scale (1 when healthy).
+func (n *Network) LinkScale(eid topology.EdgeID) float64 {
+	if n.linkScale == nil {
+		return 1
+	}
+	return n.linkScale[eid]
+}
+
+// LinkDown reports whether the edge is currently blacked out (effective
+// capacity zero).
+func (n *Network) LinkDown(eid topology.EdgeID) bool {
+	return n.effectiveCapacity(eid) <= 0
+}
+
+// effectiveCapacity is the edge's nominal capacity derated by any injected
+// degradation.
+func (n *Network) effectiveCapacity(eid topology.EdgeID) float64 {
+	c := n.g.Edge(eid).Capacity
+	if n.linkScale != nil {
+		c *= n.linkScale[eid]
+	}
+	return c
+}
 
 // Engine returns the driving event engine.
 func (n *Network) Engine() *sim.Engine { return n.eng }
@@ -174,7 +231,7 @@ func (n *Network) charge() {
 	if dt <= 0 {
 		return
 	}
-	for _, f := range n.flows {
+	for _, f := range n.orderedFlows() {
 		moved := f.rate * (now - f.lastT)
 		f.remaining -= moved
 		if f.remaining < 0 {
@@ -187,21 +244,37 @@ func (n *Network) charge() {
 	}
 }
 
+// orderedFlows returns the active flows sorted by ID. Map iteration order
+// is randomized per run, so every loop whose float accumulation or event
+// scheduling order is observable must walk flows through this — otherwise
+// same-seed simulations diverge (same-time completion events fire in a
+// different FIFO order, byte counters accumulate in a different order).
+func (n *Network) orderedFlows() []*Flow {
+	out := make([]*Flow, 0, len(n.flows))
+	for _, f := range n.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // reallocate recomputes all flow rates by progressive water-filling
 // (max-min fairness) and reschedules completion events.
 func (n *Network) reallocate() {
 	if len(n.flows) == 0 {
 		return
 	}
-	// Remaining capacity per link and unfrozen flow count per link.
-	capLeft := make(map[topology.EdgeID]float64)
-	count := make(map[topology.EdgeID]int)
+	// Remaining capacity per link and unfrozen flow count per link, indexed
+	// by edge id so the bottleneck scan below is deterministic (ties go to
+	// the lowest edge id; a map here would break same-seed reproducibility).
+	capLeft := make([]float64, len(n.linkFlows))
+	count := make([]int, len(n.linkFlows))
 	for eid, fl := range n.linkFlows {
 		if len(fl) == 0 {
 			continue
 		}
-		capLeft[topology.EdgeID(eid)] = n.g.Edge(topology.EdgeID(eid)).Capacity
-		count[topology.EdgeID(eid)] = len(fl)
+		capLeft[eid] = n.effectiveCapacity(topology.EdgeID(eid))
+		count[eid] = len(fl)
 	}
 	frozen := make(map[FlowID]bool, len(n.flows))
 
@@ -217,7 +290,7 @@ func (n *Network) reallocate() {
 			share := capLeft[eid] / float64(c)
 			if share < bestShare {
 				bestShare = share
-				bestLink = eid
+				bestLink = topology.EdgeID(eid)
 			}
 		}
 		if bestLink < 0 {
@@ -244,7 +317,7 @@ func (n *Network) reallocate() {
 	}
 
 	now := n.eng.Now()
-	for _, f := range n.flows {
+	for _, f := range n.orderedFlows() {
 		if f.finish != nil {
 			n.eng.Cancel(f.finish)
 			f.finish = nil
@@ -285,15 +358,22 @@ func (n *Network) EdgeRate(eid topology.EdgeID) float64 {
 }
 
 // EdgeUtilization returns the instantaneous utilization of the edge in
-// [0, 1]: the paper's monitored bandwidth-utilization ratio B(e*)/C(e).
+// [0, 1]: the paper's monitored bandwidth-utilization ratio B(e*)/C(e),
+// measured against the effective (possibly fault-degraded) capacity. A
+// blacked-out link reports +Inf: it is infinitely utilized from the
+// scheduler's point of view, so every policy crossing it prices out.
 func (n *Network) EdgeUtilization(eid topology.EdgeID) float64 {
-	return n.EdgeRate(eid) / n.g.Edge(eid).Capacity
+	c := n.effectiveCapacity(eid)
+	if c <= 0 {
+		return math.Inf(1)
+	}
+	return n.EdgeRate(eid) / c
 }
 
-// AvailableBW returns the edge capacity minus the current flow rates — the
-// live counterpart of the topology's static Available field.
+// AvailableBW returns the effective edge capacity minus the current flow
+// rates — the live counterpart of the topology's static Available field.
 func (n *Network) AvailableBW(eid topology.EdgeID) float64 {
-	avail := n.g.Edge(eid).Capacity - n.EdgeRate(eid)
+	avail := n.effectiveCapacity(eid) - n.EdgeRate(eid)
 	if avail < 0 {
 		return 0
 	}

@@ -218,6 +218,12 @@ func (t *Table) RefreshPenalty(util func(topology.EdgeID) float64) {
 			var shared, total float64
 			for _, e := range other.Edges {
 				u := util(e)
+				// A blacked-out link reports +Inf utilization; clamp it so
+				// the sharing ratio W stays finite (Inf/Inf is NaN and would
+				// poison the EWMA permanently).
+				if math.IsInf(u, 1) {
+					u = 1
+				}
 				total += u
 				if in[e] {
 					shared += u
@@ -241,6 +247,19 @@ type Controller struct {
 	interval float64
 	ticks    int64
 	running  bool
+
+	// stalledUntil implements GPU-agent stalls injected by internal/faults:
+	// while the simulated clock is before it, refresh rounds are skipped and
+	// the policy tables go stale (the replicas keep serving selections from
+	// their last synchronized state).
+	stalledUntil float64
+	stalledTicks int64
+
+	// switchHealth, when non-nil, reports whether an aggregation switch is
+	// currently usable (online with free aggregator slots). Policies whose
+	// switch is unhealthy get an infinite cost during refresh, steering
+	// every group back to ring until the switch recovers.
+	switchHealth func(topology.NodeID) bool
 }
 
 // NewController returns a controller polling telemetry every interval
@@ -258,12 +277,52 @@ func (c *Controller) Register(t *Table) { c.tables = append(c.tables, t) }
 // Ticks returns how many refresh rounds have run.
 func (c *Controller) Ticks() int64 { return c.ticks }
 
-// Tick refreshes all tables once from the live link utilization.
+// StalledTicks returns how many refresh rounds were skipped by agent stalls.
+func (c *Controller) StalledTicks() int64 { return c.stalledTicks }
+
+// StallFor suspends table refreshes for the next d simulated seconds,
+// modelling a GPU agent that stops answering the control plane's policy-table
+// sync (§IV). Overlapping stalls extend to the furthest deadline. Selections
+// continue against the last synchronized tables.
+func (c *Controller) StallFor(d float64) {
+	if d <= 0 {
+		return
+	}
+	until := c.net.Engine().Now() + d
+	if until > c.stalledUntil {
+		c.stalledUntil = until
+	}
+}
+
+// Stalled reports whether the controller is currently inside a stall window.
+func (c *Controller) Stalled() bool {
+	return c.net.Engine().Now() < c.stalledUntil
+}
+
+// BindSwitchHealth installs the switch-agent health probe consulted on every
+// refresh (nil disables the check).
+func (c *Controller) BindSwitchHealth(f func(topology.NodeID) bool) { c.switchHealth = f }
+
+// Tick refreshes all tables once from the live link utilization, then prices
+// out policies whose aggregation switch is unhealthy. During a stall window
+// the refresh is skipped entirely.
 func (c *Controller) Tick() {
+	if c.Stalled() {
+		c.stalledTicks++
+		return
+	}
 	util := func(e topology.EdgeID) float64 { return c.net.EdgeUtilization(e) }
 	for _, t := range c.tables {
 		t.RefreshCost(util)
 		t.RefreshPenalty(util)
+		if c.switchHealth != nil {
+			for i := range t.Policies {
+				p := &t.Policies[i]
+				if p.Scheme.UsesINA() && p.Switch >= 0 && !c.switchHealth(p.Switch) {
+					t.cost[i] = math.Inf(1)
+				}
+			}
+		}
 	}
 	c.ticks++
 }

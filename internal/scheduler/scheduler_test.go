@@ -307,3 +307,93 @@ func TestCostsMonotoneBetweenRefreshes(t *testing.T) {
 		}
 	}
 }
+
+func TestControllerStallSkipsRefresh(t *testing.T) {
+	g, group, policies := twoPathGraph()
+	eng := sim.NewEngine()
+	net := netsim.New(g, eng)
+	ctl := NewController(net, 0.01)
+	tb := NewTable(g, group, policies, DefaultConfig())
+	ctl.Register(tb)
+
+	// Saturate policy 0's first link, then stall the controller: the cost
+	// table must keep its pre-stall view until the stall window passes.
+	path := topology.Path{Nodes: []topology.NodeID{group[0], 2}, Edges: []topology.EdgeID{policies[0].Edges[0]}}
+	net.StartFlow(path, 1<<31, nil) // ~2.1 s at 1 GB/s, outlives the stall
+	ctl.StallFor(1.0)
+	if !ctl.Stalled() {
+		t.Fatal("controller not stalled after StallFor")
+	}
+	ctl.Tick()
+	if ctl.Ticks() != 0 || ctl.StalledTicks() != 1 {
+		t.Fatalf("ticks=%d stalledTicks=%d, want 0/1", ctl.Ticks(), ctl.StalledTicks())
+	}
+	if tb.Cost(0) != tb.Cost(1) {
+		t.Fatalf("stalled refresh still updated costs: %g vs %g", tb.Cost(0), tb.Cost(1))
+	}
+
+	// Overlapping stalls extend to the furthest deadline, never shrink.
+	ctl.StallFor(0.5)
+	eng.Schedule(0.9, func() {
+		if !ctl.Stalled() {
+			t.Error("stall window shrank")
+		}
+	})
+	eng.Schedule(1.1, func() {
+		if ctl.Stalled() {
+			t.Error("stall window never expired")
+		}
+		ctl.Tick()
+	})
+	eng.Run()
+	if ctl.Ticks() != 1 {
+		t.Fatalf("post-stall tick did not refresh (ticks=%d)", ctl.Ticks())
+	}
+	if tb.Cost(0) <= tb.Cost(1) {
+		t.Fatalf("post-stall refresh: cost0=%g cost1=%g, want 0 hotter", tb.Cost(0), tb.Cost(1))
+	}
+}
+
+func TestControllerSwitchHealthPricesOut(t *testing.T) {
+	g, group, policies := twoPathGraph()
+	eng := sim.NewEngine()
+	net := netsim.New(g, eng)
+	ctl := NewController(net, 0.01)
+	tb := NewTable(g, group, policies, DefaultConfig())
+	ctl.Register(tb)
+
+	sick := policies[0].Switch
+	ctl.BindSwitchHealth(func(sw topology.NodeID) bool { return sw != sick })
+	ctl.Tick()
+	if !math.IsInf(tb.Cost(0), 1) {
+		t.Fatalf("unhealthy switch policy cost %g, want +Inf", tb.Cost(0))
+	}
+	if math.IsInf(tb.Cost(1), 1) {
+		t.Fatal("healthy switch policy also priced out")
+	}
+
+	// Recovery: the next refresh reprices the policy back to finite cost.
+	ctl.BindSwitchHealth(func(topology.NodeID) bool { return true })
+	ctl.Tick()
+	if math.IsInf(tb.Cost(0), 1) {
+		t.Fatal("recovered switch policy still +Inf")
+	}
+}
+
+func TestRefreshCostDeadLinkInf(t *testing.T) {
+	g, group, policies := twoPathGraph()
+	tb := NewTable(g, group, policies, DefaultConfig())
+	tb.RefreshCost(func(e topology.EdgeID) float64 {
+		if e == policies[0].Edges[1] {
+			return math.Inf(1) // blacked-out link
+		}
+		return 0.1
+	})
+	if !math.IsInf(tb.Cost(0), 1) {
+		t.Fatalf("policy over dead link cost %g, want +Inf", tb.Cost(0))
+	}
+	idx := tb.Select(1 << 20)
+	if idx != 1 {
+		t.Fatalf("Select picked the dead policy (%d)", idx)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"heroserve/internal/collective"
+	"heroserve/internal/faults"
 	"heroserve/internal/model"
 	"heroserve/internal/netsim"
 	"heroserve/internal/stats"
@@ -230,6 +231,10 @@ type Options struct {
 	// transfer and collective path (HeroServe installs a load-aware router
 	// here; nil uses static capacity-weighted shortest paths).
 	RouterFactory func(*netsim.Network) collective.Router
+	// Faults, when non-nil, arms the fault schedule on the run's event
+	// engine: link degradation, switch slot exhaustion / reboots, and
+	// GPU-agent stalls fire at their scheduled times (internal/faults).
+	Faults *faults.Schedule
 }
 
 func (o *Options) setDefaults() {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"heroserve/internal/collective"
+	"heroserve/internal/faults"
 	"heroserve/internal/model"
 	"heroserve/internal/netsim"
 	"heroserve/internal/sim"
@@ -30,6 +31,7 @@ type System struct {
 	prefill []*prefillInstance
 	decode  []*decodeInstance
 	scaler  *autoscaler
+	inj     *faults.Injector
 
 	fitted map[string]*model.ComputeModel
 
@@ -119,6 +121,10 @@ func New(g *topology.Graph, dep Deployment, opts Options) (*System, error) {
 		di.series.Name = fmt.Sprintf("decode-%d", i)
 		s.decode = append(s.decode, di)
 	}
+	if opts.Faults != nil {
+		s.inj = faults.NewInjector(s.net, s.comm)
+		s.inj.Arm(*opts.Faults)
+	}
 	return s, nil
 }
 
@@ -131,6 +137,10 @@ func (s *System) Network() *netsim.Network { return s.net }
 
 // Comm exposes the collective executor.
 func (s *System) Comm() *collective.Comm { return s.comm }
+
+// FaultInjector returns the armed fault injector (nil on fault-free runs).
+// Control-plane components register their stall hooks here.
+func (s *System) FaultInjector() *faults.Injector { return s.inj }
 
 // computeModelFor fits (with caching) the cost model of the instance's
 // slowest GPU type: synchronous data parallelism paces on the straggler.

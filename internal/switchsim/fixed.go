@@ -26,10 +26,21 @@ const (
 )
 
 // ToFixed converts a float to the switch's fixed-point representation with
-// saturation at the int32 range (the hardware behaviour on overflow).
+// saturation at the int32 range (the hardware behaviour on overflow). The
+// conversion is total: NaN quantizes to 0 and ±Inf saturate, so adversarial
+// inputs cannot smuggle an out-of-range float-to-int conversion (which Go
+// leaves implementation-defined) into the data plane.
 func ToFixed(f float64) int32 {
-	v := int64(math.RoundToEven(f * float64(fixedOne)))
-	return sat32(v)
+	scaled := math.RoundToEven(f * float64(fixedOne))
+	switch {
+	case math.IsNaN(scaled):
+		return 0
+	case scaled >= float64(maxInt32):
+		return math.MaxInt32
+	case scaled <= float64(minInt32):
+		return math.MinInt32
+	}
+	return int32(scaled)
 }
 
 // FromFixed converts a fixed-point value back to float.

@@ -1,0 +1,93 @@
+package switchsim
+
+import (
+	"math"
+	"testing"
+)
+
+// fixedMax is the largest float representable in the Q15.16 range.
+const fixedMax = float64(math.MaxInt32) / float64(fixedOne)
+const fixedMin = float64(math.MinInt32) / float64(fixedOne)
+
+// FuzzFixedRoundTrip drives the data plane's quantize → saturating-add →
+// dequantize pipeline with adversarial float pairs. Invariants:
+//
+//  1. ToFixed is total — NaN and ±Inf never produce an out-of-range
+//     conversion, they quantize to 0 / saturated extremes.
+//  2. Round-trip error within the representable range is at most half an
+//     LSB (2^-17) per value.
+//  3. Aggregation matches float addition within one LSB when the true sum
+//     is representable, and saturates (never wraps) when it is not.
+func FuzzFixedRoundTrip(f *testing.F) {
+	seeds := []float64{
+		0, 1, -1, 0.5, -0.5, 1.0 / 3.0,
+		fixedMax, fixedMin, fixedMax - 1, fixedMin + 1,
+		32768.0, -32769.0, // just past the representable magnitude
+		1e-9, -1e-9, // below one LSB
+		1e308, -1e308, // overflow the scaled int64 too
+		math.MaxFloat64, -math.MaxFloat64,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.Nextafter(fixedMax, 0), math.Nextafter(fixedMax, math.Inf(1)),
+	}
+	for _, a := range seeds {
+		f.Add(a, 1.0)
+		f.Add(a, a)
+		f.Add(0.0, a)
+	}
+	const lsb = 1.0 / float64(fixedOne)
+	f.Fuzz(func(t *testing.T, a, b float64) {
+		qa, qb := ToFixed(a), ToFixed(b)
+		for _, c := range []struct {
+			in float64
+			q  int32
+		}{{a, qa}, {b, qb}} {
+			switch {
+			case math.IsNaN(c.in):
+				if c.q != 0 {
+					t.Fatalf("ToFixed(NaN) = %d, want 0", c.q)
+				}
+			case c.in >= fixedMax:
+				if c.q != math.MaxInt32 {
+					t.Fatalf("ToFixed(%g) = %d, want saturation at MaxInt32", c.in, c.q)
+				}
+			case c.in <= fixedMin:
+				if c.q != math.MinInt32 {
+					t.Fatalf("ToFixed(%g) = %d, want saturation at MinInt32", c.in, c.q)
+				}
+			default:
+				if got := FromFixed(c.q); math.Abs(got-c.in) > lsb/2 {
+					t.Fatalf("round-trip %g -> %d -> %g: error %g > half LSB", c.in, c.q, got, math.Abs(got-c.in))
+				}
+			}
+		}
+
+		sum := AddSat(qa, qb)
+		got := FromFixed(sum)
+		if got < fixedMin || got > fixedMax {
+			t.Fatalf("dequantized sum %g outside representable range", got)
+		}
+		// The saturating ALU must agree exactly with clamped exact
+		// arithmetic on the quantized operands — in particular it must
+		// never wrap around int32. (Quantized values are multiples of
+		// 2^-16 with magnitude <= 2^15, so their float64 sum is exact.)
+		ref := FromFixed(qa) + FromFixed(qb)
+		if ref > fixedMax {
+			ref = fixedMax
+		} else if ref < fixedMin {
+			ref = fixedMin
+		}
+		if got != ref {
+			t.Fatalf("AddSat(%d, %d) -> %g, clamped exact sum is %g", qa, qb, got, ref)
+		}
+		// When neither operand nor the true sum clips, aggregation matches
+		// float addition within one LSB of accumulated rounding.
+		want := a + b
+		if !math.IsNaN(a) && !math.IsNaN(b) &&
+			a > fixedMin && a < fixedMax && b > fixedMin && b < fixedMax &&
+			want > fixedMin+lsb && want < fixedMax-lsb {
+			if math.Abs(got-want) > lsb {
+				t.Fatalf("aggregate %g + %g = %g, fixed point got %g (error %g)", a, b, want, got, math.Abs(got-want))
+			}
+		}
+	})
+}

@@ -113,6 +113,8 @@ type Switch struct {
 	slots    []slot
 	jobs     map[JobID]*jobState
 	free     []int // free slot indices (sync allocation pool)
+	seized   []int // slot indices seized by fault injection (unavailable)
+	offline  bool  // true while the switch is rebooting
 	counters Counters
 	entryLen int // vector elements per packet
 }
@@ -156,6 +158,83 @@ func (s *Switch) EntryBytes() int { return s.entryLen * 4 }
 
 // Counters returns a snapshot of the hardware counters.
 func (s *Switch) Counters() Counters { return s.counters }
+
+// Online reports whether the switch data plane is reachable. An offline
+// (rebooting) switch accepts no new jobs and drops every packet; callers
+// fall back to host-side aggregation.
+func (s *Switch) Online() bool { return !s.offline }
+
+// SetOnline transitions the switch in or out of its rebooting state. Going
+// offline wipes the data plane (a reboot loses all aggregator state);
+// coming back online restores an empty, fully usable slot pool (minus any
+// slots still seized by SeizeSlots).
+func (s *Switch) SetOnline(online bool) {
+	if online == !s.offline {
+		return
+	}
+	s.offline = !online
+	if !online {
+		s.wipe()
+	}
+}
+
+// SeizeSlots removes up to n slots from the free pool, modelling a
+// competing tenant (or control-plane fault) exhausting the aggregator
+// resources. It returns the number actually seized. Seized slots survive
+// reboots; release them with RestoreSlots.
+func (s *Switch) SeizeSlots(n int) int {
+	if n > len(s.free) {
+		n = len(s.free)
+	}
+	if n <= 0 {
+		return 0
+	}
+	s.seized = append(s.seized, s.free[len(s.free)-n:]...)
+	s.free = s.free[:len(s.free)-n]
+	return n
+}
+
+// RestoreSlots returns up to n previously seized slots to the free pool and
+// reports how many were restored.
+func (s *Switch) RestoreSlots(n int) int {
+	if n > len(s.seized) {
+		n = len(s.seized)
+	}
+	if n <= 0 {
+		return 0
+	}
+	restored := s.seized[len(s.seized)-n:]
+	s.seized = s.seized[:len(s.seized)-n]
+	for _, idx := range restored {
+		s.slots[idx] = slot{}
+		s.free = append(s.free, idx)
+	}
+	return n
+}
+
+// SeizedSlots returns the number of slots currently held by fault injection.
+func (s *Switch) SeizedSlots() int { return len(s.seized) }
+
+// wipe clears all data-plane state: every slot, every job registration, and
+// the free pool (rebuilt as all slots minus the seized set). Outstanding
+// aggregation rounds are lost, exactly as on hardware when the switch
+// power-cycles.
+func (s *Switch) wipe() {
+	seized := make(map[int]bool, len(s.seized))
+	for _, idx := range s.seized {
+		seized[idx] = true
+	}
+	for i := range s.slots {
+		s.slots[i] = slot{}
+	}
+	s.jobs = make(map[JobID]*jobState)
+	s.free = s.free[:0]
+	for i := range s.slots {
+		if !seized[i] {
+			s.free = append(s.free, i)
+		}
+	}
+}
 
 // RegisterJob installs a job. For ModeSync it carves want slots out of the
 // free pool (fewer if the pool is low) and returns the number granted; the
@@ -215,6 +294,10 @@ func (s *Switch) ReleaseJob(job JobID) {
 // Ingest processes one aggregation packet and returns the verdict plus, on
 // VerdictComplete, the aggregated vector (the multicast payload).
 func (s *Switch) Ingest(p Packet) (Verdict, []int32) {
+	if s.offline {
+		s.counters.Drops++
+		return VerdictDrop, nil
+	}
 	js, ok := s.jobs[p.Job]
 	if !ok {
 		s.counters.Drops++

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: vet, build, then the full test suite under the race
+# detector. Run from anywhere; the script cds to the repo root.
+#
+#   scripts/ci.sh          # full suite (race detector, ~20-30 min cold)
+#   scripts/ci.sh -short   # quick pass: skips the heavy experiment sweeps
+#
+# Extra arguments are forwarded to `go test`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+# The experiment regression tests replay full rate sweeps across four
+# simulated systems; uncached they exceed go test's default 10m per-binary
+# timeout even with parallel subtests, hence the explicit -timeout.
+echo "== go test -race"
+go test -race -timeout 45m ./... "$@"
+
+echo "CI OK"
