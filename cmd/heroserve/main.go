@@ -5,16 +5,19 @@
 //
 //	heroserve -exp fig7              # one experiment
 //	heroserve -exp all -scale full   # everything, paper-sized sweeps
+//	heroserve -exp faults -trace-out spans.json -metrics-out metrics.prom
 //	heroserve -list                  # enumerate experiment ids
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"heroserve/internal/experiments"
+	"heroserve/internal/telemetry"
 )
 
 type runner func(experiments.Scale, int64) (*experiments.Report, error)
@@ -48,6 +51,8 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "sweep sizing: quick | full")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	list := flag.Bool("list", false, "list experiment ids")
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON across all runs here")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics across all runs here")
 	flag.Parse()
 
 	if *list {
@@ -66,6 +71,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "heroserve: unknown scale %q (quick|full)\n", *scaleFlag)
 		os.Exit(2)
 	}
+	switch *format {
+	case "text", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "heroserve: unknown format %q (text|csv)\n", *format)
+		os.Exit(2)
+	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "heroserve: -exp required (use -list to enumerate; 'all' runs everything)")
 		os.Exit(2)
@@ -78,19 +89,34 @@ func main() {
 			ids = append(ids, e.id)
 		}
 	}
-	for _, id := range ids {
-		var run runner
+	// Resolve every id before running anything, so a typo in a comma list
+	// fails fast instead of after hours of earlier experiments.
+	runs := make([]runner, len(ids))
+	for i, id := range ids {
 		for _, e := range registry {
 			if e.id == id {
-				run = e.run
+				runs[i] = e.run
 				break
 			}
 		}
-		if run == nil {
-			fmt.Fprintf(os.Stderr, "heroserve: unknown experiment %q\n", id)
+		if runs[i] == nil {
+			var known []string
+			for _, e := range registry {
+				known = append(known, e.id)
+			}
+			fmt.Fprintf(os.Stderr, "heroserve: unknown experiment %q (available: %s)\n", id, strings.Join(known, " "))
 			os.Exit(2)
 		}
-		rep, err := run(scale, *seed)
+	}
+
+	var hub *telemetry.Hub
+	if *traceOut != "" || *metricsOut != "" {
+		hub = telemetry.New()
+		experiments.SetTelemetry(hub)
+	}
+
+	for i, id := range ids {
+		rep, err := runs[i](scale, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "heroserve: %s: %v\n", id, err)
 			os.Exit(1)
@@ -103,9 +129,34 @@ func main() {
 				fmt.Fprintf(os.Stderr, "heroserve: csv: %v\n", err)
 				os.Exit(1)
 			}
-		default:
-			fmt.Fprintf(os.Stderr, "heroserve: unknown format %q\n", *format)
-			os.Exit(2)
 		}
 	}
+
+	if *traceOut != "" {
+		if err := exportFile(*traceOut, hub.Trace.Export); err != nil {
+			fmt.Fprintf(os.Stderr, "heroserve: trace export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", hub.Trace.Len(), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := exportFile(*metricsOut, hub.Metrics.WriteProm); err != nil {
+			fmt.Fprintf(os.Stderr, "heroserve: metrics export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+}
+
+// exportFile writes one telemetry artifact via its writer function.
+func exportFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,12 +7,16 @@
 //	tracegen -kind chatbot -n 100 -rate 4 > trace.json
 //	serve -trace trace.json -system heroserve -topology testbed -model opt-66b
 //	serve -trace trace.json -system distserve -elephants 4
+//	serve -trace trace.json -trace-out spans.json -metrics-out metrics.prom
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"heroserve/internal/baselines"
 	"heroserve/internal/core"
@@ -20,8 +24,17 @@ import (
 	"heroserve/internal/planner"
 	"heroserve/internal/serving"
 	"heroserve/internal/stats"
+	"heroserve/internal/telemetry"
 	"heroserve/internal/topology"
 	"heroserve/internal/workload"
+)
+
+// Allowed values for the enumerated flags, validated before any work starts
+// so a typo fails fast instead of after trace parsing and planning.
+var (
+	systems = map[string]bool{"heroserve": true, "distserve": true, "ds-atp": true, "ds-switchml": true}
+	topos   = map[string]bool{"testbed": true, "pod2": true, "pod8": true}
+	models  = map[string]bool{"opt-13b": true, "opt-66b": true, "opt-175b": true}
 )
 
 func main() {
@@ -37,8 +50,19 @@ func main() {
 	elephants := flag.Int("elephants", 0, "background elephant-flow lanes")
 	autoscale := flag.Bool("autoscale", false, "enable decode-instance autoscaling")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (Perfetto-loadable) here")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics here")
 	flag.Parse()
 
+	if !systems[*system] {
+		fatalf("unknown system %q (allowed: %s)", *system, allowed(systems))
+	}
+	if !topos[*topo] {
+		fatalf("unknown topology %q (allowed: %s)", *topo, allowed(topos))
+	}
+	if !models[*modelName] {
+		fatalf("unknown model %q (allowed: %s)", *modelName, allowed(models))
+	}
 	if *tracePath == "" {
 		fatalf("-trace required (use cmd/tracegen to produce one)")
 	}
@@ -69,8 +93,6 @@ func main() {
 		g = topology.Pod2Tracks(*servers)
 	case "pod8":
 		g = topology.Pod8Tracks(*servers)
-	default:
-		fatalf("unknown topology %q", *topo)
 	}
 	var cfg model.Config
 	switch *modelName {
@@ -80,12 +102,11 @@ func main() {
 		cfg = model.OPT66B()
 	case "opt-175b":
 		cfg = model.OPT175B()
-	default:
-		fatalf("unknown model %q", *modelName)
 	}
 
 	rate := float64(len(trace.Requests)) / trace.Duration()
 	pre, dec := planner.SplitPoolsByServer(g, g.NumServers()/2)
+	sla := serving.SLA{TTFT: *ttft, TPOT: *tpot}
 	in := planner.Inputs{
 		Model:         cfg,
 		Graph:         g,
@@ -93,13 +114,19 @@ func main() {
 		DecodeGPUs:    dec,
 		Workload:      trace.BatchStats(*batch),
 		Lambda:        rate,
-		SLA:           serving.SLA{TTFT: *ttft, TPOT: *tpot},
+		SLA:           sla,
 		MinTensDecode: *minTens,
 		Seed:          *seed,
 	}
 	opts := serving.Options{}
 	if *autoscale {
 		opts.Autoscale = &serving.AutoscaleConfig{InitialActive: 1}
+	}
+	var hub *telemetry.Hub
+	if *traceOut != "" || *metricsOut != "" {
+		hub = telemetry.New()
+		opts.Telemetry = hub
+		opts.SLA = &sla
 	}
 
 	var sys *serving.System
@@ -113,8 +140,6 @@ func main() {
 		sys, plan, err = baselines.NewSystem(baselines.DSATP, in, opts)
 	case "ds-switchml":
 		sys, plan, err = baselines.NewSystem(baselines.DSSwitchML, in, opts)
-	default:
-		fatalf("unknown system %q", *system)
 	}
 	if err != nil {
 		fatalf("planning: %v", err)
@@ -124,7 +149,6 @@ func main() {
 	}
 
 	res := sys.Run(trace)
-	sla := serving.SLA{TTFT: *ttft, TPOT: *tpot}
 	ttfts := stats.Summarize(res.TTFTs())
 	tpots := stats.Summarize(res.TPOTs())
 	fmt.Printf("system=%s plan=%s trace=%s requests=%d rate=%.3g req/s\n",
@@ -143,6 +167,42 @@ func main() {
 			fmt.Printf("  t=%8.2fs %-10s instance=%d active=%d\n", e.T, e.Action, e.ID, e.Active)
 		}
 	}
+
+	if *traceOut != "" {
+		if err := exportFile(*traceOut, hub.Trace.Export); err != nil {
+			fatalf("trace export: %v", err)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", hub.Trace.Len(), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := exportFile(*metricsOut, hub.Metrics.WriteProm); err != nil {
+			fatalf("metrics export: %v", err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+}
+
+// exportFile writes one telemetry artifact via its writer function.
+func exportFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// allowed renders a flag's value set in stable order for error messages.
+func allowed(set map[string]bool) string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, " | ")
 }
 
 func fatalf(format string, args ...any) {

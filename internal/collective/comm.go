@@ -6,6 +6,7 @@ import (
 
 	"heroserve/internal/netsim"
 	"heroserve/internal/switchsim"
+	"heroserve/internal/telemetry"
 	"heroserve/internal/topology"
 )
 
@@ -40,14 +41,14 @@ const rebootFallbackFactor = 4.0
 // Counters tallies the communication operations executed, for tests and for
 // the experiment reports.
 type Counters struct {
-	RingOps       int64
-	INASyncOps    int64
-	INAAsyncOps   int64
-	HeteroOps     int64
-	Transfers     int64
-	SlotFallbacks int64 // sync INA ops demoted to ring for lack of slots
+	RingOps        int64
+	INASyncOps     int64
+	INAAsyncOps    int64
+	HeteroOps      int64
+	Transfers      int64
+	SlotFallbacks  int64 // sync INA ops demoted to ring for lack of slots
 	FaultFallbacks int64 // in-flight INA ops demoted to host aggregation by a switch fault
-	BytesMoved    int64 // payload bytes entering the network (pre-replication)
+	BytesMoved     int64 // payload bytes entering the network (pre-replication)
 }
 
 // Comm executes collective operations over the flow-level network simulator,
@@ -67,6 +68,56 @@ type Comm struct {
 	inflightINA map[topology.NodeID]map[*inaParams]bool
 
 	counters Counters
+
+	// Telemetry (nil when off). asyncSeq numbers the async trace spans that
+	// bracket every dispatched all-reduce.
+	tel               *telemetry.Hub
+	telOps            [4]*telemetry.Counter // indexed by Scheme
+	telTransfers      *telemetry.Counter
+	telBytes          *telemetry.Counter
+	telSlotFallbacks  *telemetry.Counter
+	telFaultFallbacks *telemetry.Counter
+	asyncSeq          int64
+}
+
+// SetTelemetry arms collective metrics and spans, and cascades to every
+// switch data plane.
+func (c *Comm) SetTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	c.tel = h
+	m := h.Metrics
+	for _, s := range []Scheme{SchemeRing, SchemeINASync, SchemeINAAsync, SchemeHetero} {
+		c.telOps[s] = m.Counter("collective_ops_total",
+			"All-reduce operations executed, by scheme.", []string{"scheme"}, s.String())
+	}
+	c.telTransfers = m.Counter("collective_transfers_total",
+		"Point-to-point transfers (activations, KV cache).", nil)
+	c.telBytes = m.Counter("collective_bytes_moved_total",
+		"Payload bytes entering the network (pre-replication).", nil)
+	c.telSlotFallbacks = m.Counter("collective_slot_fallbacks_total",
+		"Sync INA ops demoted to ring for lack of aggregator slots.", nil)
+	c.telFaultFallbacks = m.Counter("collective_fault_fallbacks_total",
+		"In-flight INA ops demoted to host aggregation by a switch fault.", nil)
+	for _, ds := range c.switches {
+		ds.SetTelemetry(h)
+	}
+}
+
+// Telemetry returns the hub armed by SetTelemetry (nil when telemetry is
+// off). The online scheduler reads it to publish its decision audit.
+func (c *Comm) Telemetry() *telemetry.Hub { return c.tel }
+
+// switchName labels a switch node for metrics/trace args.
+func (c *Comm) switchName(sw topology.NodeID) string {
+	if sw < 0 || int(sw) >= c.net.Graph().NumNodes() {
+		return "none"
+	}
+	if n := c.net.Graph().Node(sw).Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("n%d", sw)
 }
 
 // NewComm returns a Comm over the network, instantiating one switch data
@@ -117,6 +168,8 @@ func (c *Comm) route(a, b topology.NodeID, size int64) topology.Path {
 func (c *Comm) Transfer(from, to topology.NodeID, bytes int64, done func()) {
 	c.counters.Transfers++
 	c.counters.BytesMoved += bytes
+	c.telTransfers.Inc()
+	c.telBytes.Add(float64(bytes))
 	if from == to {
 		c.net.Engine().After(0, done)
 		return
@@ -146,6 +199,7 @@ func barrier(n int, done func()) func() {
 // runs when the slowest segment finishes.
 func (c *Comm) RingAllReduce(group []topology.NodeID, msgBytes int64, steps int, done func()) {
 	c.counters.RingOps++
+	c.telOps[SchemeRing].Inc()
 	p := len(group)
 	if p <= 1 || msgBytes == 0 || steps == 0 {
 		c.net.Engine().After(0, done)
@@ -156,6 +210,7 @@ func (c *Comm) RingAllReduce(group []topology.NodeID, msgBytes int64, steps int,
 	// efficiency (extra bytes model the chunking/pipeline overhead).
 	total := int64(float64(steps) * 2 * float64(p-1) / float64(p) * float64(msgBytes) / RingEfficiency)
 	c.counters.BytesMoved += total * int64(p)
+	c.telBytes.Add(float64(total * int64(p)))
 
 	// Fill latency: each step crosses 2(P-1) sequential segment latencies;
 	// each flow already pays its own path latency once.
@@ -258,6 +313,7 @@ func (c *Comm) finishINA(p *inaParams) {
 // Fault injection calls this when a switch reboots; each op is penalized at
 // most once.
 func (c *Comm) NotifySwitchFault(sw topology.NodeID) {
+	demoted := 0
 	for p := range c.inflightINA[sw] {
 		if p.faulted {
 			continue
@@ -265,6 +321,14 @@ func (c *Comm) NotifySwitchFault(sw topology.NodeID) {
 		p.faulted = true
 		p.penalty *= rebootFallbackFactor
 		c.counters.FaultFallbacks++
+		c.telFaultFallbacks.Inc()
+		demoted++
+	}
+	// One instant for the whole batch: the inflight set is a map, so per-op
+	// instants would export in nondeterministic order.
+	if demoted > 0 && c.tel != nil {
+		c.tel.Trace.Instant(telemetry.ControlTID, "collective", "ina-fault-fallback",
+			map[string]any{"switch": c.switchName(sw), "ops": demoted})
 	}
 }
 
@@ -320,15 +384,23 @@ func (c *Comm) INAAllReduce(group []topology.NodeID, sw topology.NodeID, msgByte
 	params, ok := c.prepareINA(sw, p, mode, rtt)
 	if !ok {
 		c.counters.SlotFallbacks++
+		c.telSlotFallbacks.Inc()
+		if c.tel != nil {
+			c.tel.Trace.Instant(telemetry.ControlTID, "collective", "slot-fallback",
+				map[string]any{"switch": c.switchName(sw), "mode": mode.String(), "group": p})
+		}
 		c.RingAllReduce(group, msgBytes, steps, done)
 		return
 	}
 	if mode == switchsim.ModeSync {
 		c.counters.INASyncOps++
+		c.telOps[SchemeINASync].Inc()
 	} else {
 		c.counters.INAAsyncOps++
+		c.telOps[SchemeINAAsync].Inc()
 	}
 	c.counters.BytesMoved += 2 * total * int64(p)
+	c.telBytes.Add(float64(2 * total * int64(p)))
 	c.exerciseDataPlane(params, p)
 
 	eng := c.net.Engine()
@@ -389,6 +461,7 @@ func (c *Comm) heteroAllReduce(servers [][]topology.NodeID, p int, sw topology.N
 		return
 	}
 	c.counters.HeteroOps++
+	c.telOps[SchemeHetero].Inc()
 	total := int64(steps) * msgBytes
 	leaders := make([]topology.NodeID, len(servers))
 	intraFlows := 0
@@ -397,6 +470,7 @@ func (c *Comm) heteroAllReduce(servers [][]topology.NodeID, p int, sw topology.N
 		intraFlows += len(members) - 1
 	}
 	c.counters.BytesMoved += 2 * total * int64(intraFlows)
+	c.telBytes.Add(float64(2 * total * int64(intraFlows)))
 
 	broadcast := func() {
 		if intraFlows == 0 {
@@ -431,8 +505,27 @@ func (c *Comm) heteroAllReduce(servers [][]topology.NodeID, p int, sw topology.N
 	}
 }
 
-// AllReduce dispatches on scheme. sw is ignored by SchemeRing.
+// AllReduce dispatches on scheme, bracketing the operation in an async trace
+// span (the scheme that *executes* may differ from the span's scheme arg only
+// via the recorded fallback instants). sw is ignored by SchemeRing.
 func (c *Comm) AllReduce(scheme Scheme, group []topology.NodeID, sw topology.NodeID, msgBytes int64, steps int, done func()) {
+	if c.tel != nil {
+		c.asyncSeq++
+		id := c.asyncSeq
+		args := map[string]any{
+			"scheme": scheme.String(), "group": len(group),
+			"bytes": msgBytes, "steps": steps,
+		}
+		if scheme.UsesINA() {
+			args["switch"] = c.switchName(sw)
+		}
+		c.tel.Trace.AsyncBegin("collective", "allreduce", id, args)
+		inner := done
+		done = func() {
+			c.tel.Trace.AsyncEnd("collective", "allreduce", id)
+			inner()
+		}
+	}
 	switch scheme {
 	case SchemeRing:
 		c.RingAllReduce(group, msgBytes, steps, done)

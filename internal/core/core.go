@@ -6,12 +6,15 @@
 package core
 
 import (
+	"fmt"
+
 	"heroserve/internal/collective"
 	"heroserve/internal/faults"
 	"heroserve/internal/netsim"
 	"heroserve/internal/planner"
 	"heroserve/internal/scheduler"
 	"heroserve/internal/serving"
+	"heroserve/internal/telemetry"
 	"heroserve/internal/topology"
 )
 
@@ -100,6 +103,7 @@ func (p *OnlinePolicy) table(ctx *serving.GroupCtx, msgBytes int64) *scheduler.T
 		if p.Injector != nil {
 			p.Injector.RegisterStaller(p.ctl)
 		}
+		p.ctl.SetTelemetry(ctx.Comm.Telemetry())
 	}
 	p.ctl.Register(t)
 	p.ctl.Start()
@@ -113,6 +117,7 @@ func (p *OnlinePolicy) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps in
 	pol := t.Policies[idx]
 	sw := pol.Switch
 	scheme := pol.Scheme
+	reason := "table"
 	if scheme.UsesINA() && (sw < 0 || !p.policyAlive(ctx.Comm, &pol)) {
 		// Local data-plane guard: the GPU agent observes its own timeouts
 		// (a blacked-out link on the policy's path, an offline or slot-starved
@@ -120,8 +125,37 @@ func (p *OnlinePolicy) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps in
 		// when a fault coincides with an agent stall that froze the tables.
 		scheme = collective.SchemeRing
 		sw = -1
+		reason = "guard-fallback"
 	}
+	p.audit(ctx, t, &pol, scheme, reason, msgBytes, steps)
 	ctx.Comm.AllReduce(scheme, ctx.Group, sw, msgBytes, steps, done)
+}
+
+// audit publishes the decision record of one policy pick: the
+// collective_scheme_total{scheme,reason} counter and a policy-select trace
+// instant carrying the winning policy, the executed scheme, and the full
+// cost-table snapshot (the paper's Fig. 5 state at decision time).
+func (p *OnlinePolicy) audit(ctx *serving.GroupCtx, t *scheduler.Table, pol *scheduler.Policy, scheme collective.Scheme, reason string, msgBytes int64, steps int) {
+	tel := ctx.Comm.Telemetry()
+	if tel == nil {
+		return
+	}
+	tel.Metrics.Counter("collective_scheme_total",
+		"Online policy picks by executed scheme and decision reason.",
+		[]string{"scheme", "reason"}, scheme.String(), reason).Inc()
+	costs := make(map[string]any, len(t.Policies))
+	for i, c := range t.Costs() {
+		costs[t.Policies[i].Label] = telemetry.Float(c)
+	}
+	tel.Trace.Instant(telemetry.ControlTID, "sched", "policy-select", map[string]any{
+		"group":   fmt.Sprintf("%s/%d/%d", ctx.ID.Role, ctx.ID.Instance, ctx.ID.Stage),
+		"policy":  pol.Label,
+		"scheme":  scheme.String(),
+		"reason":  reason,
+		"bytes":   msgBytes * int64(steps),
+		"stalled": p.ctl.Stalled(),
+		"costs":   costs,
+	})
 }
 
 // policyAlive reports whether an INA policy's data plane is free of fault

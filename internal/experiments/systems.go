@@ -8,8 +8,19 @@ import (
 	"heroserve/internal/faults"
 	"heroserve/internal/planner"
 	"heroserve/internal/serving"
+	"heroserve/internal/telemetry"
 	"heroserve/internal/workload"
 )
+
+// telemetryHub, when set via SetTelemetry, arms every serving run launched by
+// this package with the deterministic observability layer. Metrics accumulate
+// across runs; each run opens a fresh trace process named after its policy.
+var telemetryHub *telemetry.Hub
+
+// SetTelemetry installs (or, with nil, removes) the hub used by all
+// subsequent experiment runs. cmd/heroserve calls this when -trace-out or
+// -metrics-out is given.
+func SetTelemetry(h *telemetry.Hub) { telemetryHub = h }
 
 // SystemKind enumerates the four evaluated systems.
 type SystemKind uint8
@@ -106,7 +117,12 @@ func requestsFor(rate, horizon float64, minReqs int) int {
 
 // runOnce executes one serving simulation and returns its results.
 func runOnce(cfg runConfig) (*serving.Results, error) {
-	sys, err := buildSystem(cfg.kind, cfg.in, cfg.plan, serving.Options{Faults: cfg.faults})
+	opts := serving.Options{Faults: cfg.faults, Telemetry: telemetryHub}
+	if telemetryHub != nil {
+		sla := cfg.in.SLA
+		opts.SLA = &sla
+	}
+	sys, err := buildSystem(cfg.kind, cfg.in, cfg.plan, opts)
 	if err != nil {
 		return nil, err
 	}

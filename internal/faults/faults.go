@@ -32,6 +32,7 @@ import (
 	"heroserve/internal/collective"
 	"heroserve/internal/netsim"
 	"heroserve/internal/sim"
+	"heroserve/internal/telemetry"
 	"heroserve/internal/topology"
 )
 
@@ -120,8 +121,8 @@ type Staller interface {
 
 // Record is one applied fault, for telemetry and reports.
 type Record struct {
-	Event      Event
-	AppliedAt  float64
+	Event       Event
+	AppliedAt   float64
 	RecoveredAt float64 // At + Duration
 }
 
@@ -143,6 +144,45 @@ type Injector struct {
 
 	records []Record
 	armed   int
+
+	// Telemetry (nil when off). Injections and recoveries surface as trace
+	// instants on the control-plane track plus a per-kind counter.
+	tel         *telemetry.Hub
+	telInjected [4]*telemetry.Counter // indexed by Kind
+}
+
+// SetTelemetry arms fault metrics and trace instants.
+func (inj *Injector) SetTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	inj.tel = h
+	for k := LinkDegrade; k <= AgentStall; k++ {
+		inj.telInjected[k] = h.Metrics.Counter("faults_injected_total",
+			"Fault events applied, by kind.", []string{"kind"}, k.String())
+	}
+}
+
+// instant emits a fault trace instant on the control-plane track.
+func (inj *Injector) instant(name string, ev Event, args map[string]any) {
+	if inj.tel == nil {
+		return
+	}
+	if args == nil {
+		args = map[string]any{}
+	}
+	args["duration"] = ev.Duration
+	switch ev.Kind {
+	case LinkDegrade:
+		args["edge"] = int(ev.Edge)
+		args["factor"] = ev.Factor
+	case SlotExhaustion:
+		args["switch"] = int(ev.Switch)
+		args["slots"] = ev.Slots
+	case SwitchReboot:
+		args["switch"] = int(ev.Switch)
+	}
+	inj.tel.Trace.Instant(telemetry.ControlTID, "fault", name, args)
 }
 
 // NewInjector returns an injector over the network and (optionally nil)
@@ -192,6 +232,8 @@ func (inj *Injector) Records() []Record {
 func (inj *Injector) apply(ev Event) {
 	now := inj.eng.Now()
 	inj.records = append(inj.records, Record{Event: ev, AppliedAt: now, RecoveredAt: now + ev.Duration})
+	inj.telInjected[ev.Kind].Inc()
+	inj.instant(ev.Kind.String(), ev, nil)
 	switch ev.Kind {
 	case LinkDegrade:
 		inj.linkDepth[ev.Edge]++
@@ -207,6 +249,7 @@ func (inj *Injector) apply(ev Event) {
 				delete(inj.linkDepth, ev.Edge)
 				delete(inj.linkFloor, ev.Edge)
 				inj.net.SetLinkScale(ev.Edge, 1)
+				inj.instant(ev.Kind.String()+"-recovered", ev, nil)
 			}
 		})
 	case SlotExhaustion:
@@ -215,7 +258,10 @@ func (inj *Injector) apply(ev Event) {
 			return
 		}
 		seized := sw.SeizeSlots(ev.Slots)
-		inj.eng.After(ev.Duration, func() { sw.RestoreSlots(seized) })
+		inj.eng.After(ev.Duration, func() {
+			sw.RestoreSlots(seized)
+			inj.instant(ev.Kind.String()+"-recovered", ev, nil)
+		})
 	case SwitchReboot:
 		sw := inj.dataPlane(ev.Switch)
 		if sw == nil {
@@ -225,13 +271,27 @@ func (inj *Injector) apply(ev Event) {
 		if inj.comm != nil {
 			inj.comm.NotifySwitchFault(ev.Switch)
 		}
-		inj.eng.After(ev.Duration, func() { sw.SetOnline(true) })
+		inj.eng.After(ev.Duration, func() {
+			sw.SetOnline(true)
+			inj.instant(ev.Kind.String()+"-recovered", ev, nil)
+		})
 	case AgentStall:
 		if until := now + ev.Duration; until > inj.stallUntil {
 			inj.stallUntil = until
 		}
 		for _, s := range inj.stallers {
 			s.StallFor(ev.Duration)
+		}
+		if inj.tel != nil {
+			// Recovery is passive (the stall window simply elapses), so the
+			// instant fires only when no longer stall window is still open.
+			// Scheduled only with telemetry armed: a telemetry-off run keeps
+			// its exact pre-telemetry event sequence.
+			inj.eng.After(ev.Duration, func() {
+				if inj.eng.Now() >= inj.stallUntil {
+					inj.instant(ev.Kind.String()+"-recovered", ev, nil)
+				}
+			})
 		}
 	}
 }

@@ -197,7 +197,7 @@ func TestSwitchOfflineRejectsNewINA(t *testing.T) {
 	}})
 	// Start an INA op while the switch is down: it must fall back to ring.
 	eng.Schedule(1, func() {
-		comm.INAAllReduce(group, sw, 1 << 20, 1, 0, func() {})
+		comm.INAAllReduce(group, sw, 1<<20, 1, 0, func() {})
 	})
 	eng.Run()
 

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"heroserve/internal/sim"
+	"heroserve/internal/telemetry"
 	"heroserve/internal/topology"
 )
 
@@ -65,6 +66,61 @@ type Network struct {
 	// Telemetry, indexed by edge id.
 	bytesCarried []float64 // cumulative, the "hardware counters" of §IV
 	lastCharge   sim.Time
+
+	tel *netTelemetry // nil when telemetry is off
+}
+
+// netTelemetry holds the network's metric handles. Per-link families are
+// pre-registered for every edge so exports always list the full topology,
+// idle links included.
+type netTelemetry struct {
+	started   *telemetry.Counter
+	delivered *telemetry.Counter
+	cancelled *telemetry.Counter
+	flowBytes *telemetry.Counter
+	flowDur   *telemetry.Histogram
+	linkBusy  []*telemetry.Counter // seconds with >=1 active flow, per edge
+	linkBytes []*telemetry.Counter // bytes serialized, per edge
+}
+
+// SetTelemetry arms flow and per-link metrics on the hub's registry.
+func (n *Network) SetTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	m := h.Metrics
+	t := &netTelemetry{
+		started:   m.Counter("net_flows_started_total", "Flows started.", nil),
+		delivered: m.Counter("net_flows_delivered_total", "Flows delivered to their destination.", nil),
+		cancelled: m.Counter("net_flows_cancelled_total", "Flows cancelled before delivery.", nil),
+		flowBytes: m.Counter("net_flow_bytes_total", "Bytes requested across all flows.", nil),
+		flowDur: m.Histogram("net_flow_seconds", "Flow start-to-delivery time.",
+			[]float64{1e-5, 1e-4, 1e-3, 0.01, 0.1, 1, 10}, nil),
+		linkBusy:  make([]*telemetry.Counter, n.g.NumEdges()),
+		linkBytes: make([]*telemetry.Counter, n.g.NumEdges()),
+	}
+	for eid := 0; eid < n.g.NumEdges(); eid++ {
+		label := n.linkLabel(topology.EdgeID(eid))
+		t.linkBusy[eid] = m.Counter("link_busy_seconds",
+			"Sim-seconds the link carried at least one flow.", []string{"link"}, label)
+		t.linkBytes[eid] = m.Counter("link_bytes_total",
+			"Bytes serialized onto the link.", []string{"link"}, label)
+	}
+	n.tel = t
+}
+
+// linkLabel names an edge for metric labels: "007:gpu0-tor0". The numeric
+// prefix keeps labels unique (parallel links) and sorts exports in edge order.
+func (n *Network) linkLabel(eid topology.EdgeID) string {
+	e := n.g.Edge(eid)
+	a, b := n.g.Node(e.A).Name, n.g.Node(e.B).Name
+	if a == "" {
+		a = fmt.Sprintf("n%d", e.A)
+	}
+	if b == "" {
+		b = fmt.Sprintf("n%d", e.B)
+	}
+	return fmt.Sprintf("%03d:%s-%s", int(eid), a, b)
 }
 
 // New returns a Network over g driven by eng.
@@ -160,6 +216,10 @@ func (n *Network) StartFlow(path topology.Path, size int64, done func(*Flow)) *F
 		f.latency += n.g.Edge(eid).Latency
 	}
 	f.net = n
+	if n.tel != nil {
+		n.tel.started.Inc()
+		n.tel.flowBytes.Add(float64(size))
+	}
 
 	if len(path.Edges) == 0 || size == 0 {
 		// Nothing to serialize: deliver after the fixed latency only.
@@ -182,6 +242,9 @@ func (n *Network) CancelFlow(f *Flow) {
 	if f == nil || f.cancelled {
 		return
 	}
+	if n.tel != nil {
+		n.tel.cancelled.Inc()
+	}
 	if _, active := n.flows[f.ID]; !active {
 		f.cancelled = true
 		return
@@ -197,6 +260,10 @@ func (n *Network) CancelFlow(f *Flow) {
 func (n *Network) complete(f *Flow) {
 	if f.cancelled {
 		return
+	}
+	if n.tel != nil {
+		n.tel.delivered.Inc()
+		n.tel.flowDur.Observe(n.eng.Now() - f.Start)
 	}
 	if f.done != nil {
 		f.done(f)
@@ -240,6 +307,16 @@ func (n *Network) charge() {
 		f.lastT = now
 		for _, eid := range f.Path.Edges {
 			n.bytesCarried[eid] += moved
+			if n.tel != nil {
+				n.tel.linkBytes[eid].Add(moved)
+			}
+		}
+	}
+	if n.tel != nil {
+		for eid, fl := range n.linkFlows {
+			if len(fl) > 0 {
+				n.tel.linkBusy[eid].Add(dt)
+			}
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"heroserve/internal/collective"
 	"heroserve/internal/netsim"
+	"heroserve/internal/telemetry"
 	"heroserve/internal/topology"
 )
 
@@ -157,6 +158,12 @@ func (t *Table) Selections() []int64 {
 	return append([]int64(nil), t.selections...)
 }
 
+// Costs returns a snapshot of every policy's virtual cost b_c, indexed like
+// Policies. The telemetry decision audit attaches it to each policy pick.
+func (t *Table) Costs() []float64 {
+	return append([]float64(nil), t.cost...)
+}
+
 // Select implements Eq. 16 and Eq. 17 for one transfer of size bytes: it
 // returns the policy index minimizing J(c, D) = b_c + delta(c, D) and updates
 // every policy's virtual cost — the winner by its delta, the others by the
@@ -260,6 +267,31 @@ type Controller struct {
 	// switch is unhealthy get an infinite cost during refresh, steering
 	// every group back to ring until the switch recovers.
 	switchHealth func(topology.NodeID) bool
+
+	// Telemetry (nil when off).
+	telRefreshes *telemetry.Counter
+	telStalled   *telemetry.Counter
+	telPricedOut *telemetry.Counter
+	telStaleness *telemetry.Gauge
+	lastRefresh  float64
+}
+
+// SetTelemetry arms control-plane metrics: refresh/stall counters and the
+// table-staleness gauge (seconds since the last successful refresh, sampled
+// at every tick).
+func (c *Controller) SetTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	m := h.Metrics
+	c.telRefreshes = m.Counter("scheduler_refreshes_total",
+		"Policy-table refresh rounds completed.", nil)
+	c.telStalled = m.Counter("scheduler_stalled_ticks_total",
+		"Refresh rounds skipped because a GPU agent stalled.", nil)
+	c.telPricedOut = m.Counter("scheduler_priced_out_total",
+		"Policies priced to +Inf because their switch was unhealthy.", nil)
+	c.telStaleness = m.Gauge("policy_table_staleness_seconds",
+		"Age of the policy tables at each controller tick.", nil)
 }
 
 // NewController returns a controller polling telemetry every interval
@@ -307,10 +339,15 @@ func (c *Controller) BindSwitchHealth(f func(topology.NodeID) bool) { c.switchHe
 // out policies whose aggregation switch is unhealthy. During a stall window
 // the refresh is skipped entirely.
 func (c *Controller) Tick() {
+	now := c.net.Engine().Now()
 	if c.Stalled() {
 		c.stalledTicks++
+		c.telStalled.Inc()
+		c.telStaleness.Set(now - c.lastRefresh)
 		return
 	}
+	c.telStaleness.Set(now - c.lastRefresh)
+	c.lastRefresh = now
 	util := func(e topology.EdgeID) float64 { return c.net.EdgeUtilization(e) }
 	for _, t := range c.tables {
 		t.RefreshCost(util)
@@ -320,11 +357,13 @@ func (c *Controller) Tick() {
 				p := &t.Policies[i]
 				if p.Scheme.UsesINA() && p.Switch >= 0 && !c.switchHealth(p.Switch) {
 					t.cost[i] = math.Inf(1)
+					c.telPricedOut.Inc()
 				}
 			}
 		}
 	}
 	c.ticks++
+	c.telRefreshes.Inc()
 }
 
 // Start schedules the periodic refresh on the network's event engine. The

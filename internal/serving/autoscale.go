@@ -166,6 +166,7 @@ func (a *autoscaler) activate(di *decodeInstance) {
 	weight := s.dep.Model.WeightBytesPerGPU(di.spec.Ptens(), di.spec.Ppipe())
 	delay := float64(weight) / a.cfg.WeightLoadBW // per-GPU loads run in parallel
 	a.events = append(a.events, ScaleEvent{T: s.eng.Now(), Active: a.countActive(), Action: "activate", ID: di.id})
+	s.scaleInstant(a.events[len(a.events)-1])
 	s.eng.After(delay, func() {
 		a.charge()
 		di.activating = false
@@ -173,6 +174,7 @@ func (a *autoscaler) activate(di *decodeInstance) {
 		di.idleSince = 0
 		a.activeGPUs += len(di.spec.GPUs())
 		a.events = append(a.events, ScaleEvent{T: s.eng.Now(), Active: a.countActive(), Action: "ready", ID: di.id})
+		s.scaleInstant(a.events[len(a.events)-1])
 		s.admitDecode(di)
 		s.maybeIterate(di)
 	})
@@ -184,6 +186,7 @@ func (a *autoscaler) deactivate(di *decodeInstance) {
 	di.active = false
 	a.activeGPUs -= len(di.spec.GPUs())
 	a.events = append(a.events, ScaleEvent{T: a.sys.eng.Now(), Active: a.countActive(), Action: "deactivate", ID: di.id})
+	a.sys.scaleInstant(a.events[len(a.events)-1])
 }
 
 func (a *autoscaler) countActive() int {

@@ -16,6 +16,7 @@ import (
 	"heroserve/internal/model"
 	"heroserve/internal/netsim"
 	"heroserve/internal/stats"
+	"heroserve/internal/telemetry"
 	"heroserve/internal/topology"
 )
 
@@ -235,6 +236,14 @@ type Options struct {
 	// engine: link degradation, switch slot exhaustion / reboots, and
 	// GPU-agent stalls fire at their scheduled times (internal/faults).
 	Faults *faults.Schedule
+	// Telemetry, when non-nil, arms the deterministic observability layer:
+	// New attaches the hub to the run's engine clock and wires metrics and
+	// spans through netsim, switchsim, collective, faults, and serving.
+	Telemetry *telemetry.Hub
+	// SLA, when non-nil alongside Telemetry, lets the run emit per-request
+	// SLA verdicts (sla_requests_total{verdict}) using exactly the
+	// Results.Attainment criterion.
+	SLA *SLA
 }
 
 func (o *Options) setDefaults() {

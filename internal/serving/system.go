@@ -10,6 +10,7 @@ import (
 	"heroserve/internal/netsim"
 	"heroserve/internal/sim"
 	"heroserve/internal/stats"
+	"heroserve/internal/telemetry"
 	"heroserve/internal/topology"
 	"heroserve/internal/workload"
 )
@@ -36,12 +37,26 @@ type System struct {
 	fitted map[string]*model.ComputeModel
 
 	metrics []RequestMetrics
+
+	// Telemetry (nil when off).
+	tel          *telemetry.Hub
+	telAdmitted  *telemetry.Counter
+	telCompleted *telemetry.Counter
+	telSLAMet    *telemetry.Counter
+	telSLAMissed *telemetry.Counter
+	telTTFT      *telemetry.Histogram
+	telTPOT      *telemetry.Histogram
+	telE2E       *telemetry.Histogram
+	telBatchReqs *telemetry.Histogram
+	telBatchToks *telemetry.Histogram
 }
 
 // request tracks one in-flight request's simulation state.
 type request struct {
 	req          workload.Request
+	prefillStart sim.Time
 	firstTokenAt sim.Time
+	kvArrivedAt  sim.Time
 	generated    int // decode tokens produced (beyond the prefill token)
 	target       *decodeInstance
 }
@@ -78,6 +93,10 @@ type decodeInstance struct {
 	iterating  bool
 	iterations int64
 	series     stats.Series
+
+	// Telemetry (nil when off).
+	telOcc *telemetry.Gauge
+	telKV  *telemetry.Gauge
 }
 
 // New builds a System over the graph. The communication policy and batching
@@ -125,7 +144,61 @@ func New(g *topology.Graph, dep Deployment, opts Options) (*System, error) {
 		s.inj = faults.NewInjector(s.net, s.comm)
 		s.inj.Arm(*opts.Faults)
 	}
+	if opts.Telemetry != nil {
+		s.attachTelemetry(opts.Telemetry)
+	}
 	return s, nil
+}
+
+// attachTelemetry binds the hub to this run's engine clock (opening a trace
+// process named after the communication policy) and arms every layer:
+// network flows and links, switch data planes, collective ops and spans,
+// fault instants, and the serving-level request/SLA/batching metrics.
+func (s *System) attachTelemetry(h *telemetry.Hub) {
+	s.tel = h
+	h.Attach(s.eng.Now, s.opts.Policy.Name())
+	s.net.SetTelemetry(h)
+	s.comm.SetTelemetry(h)
+	if s.inj != nil {
+		s.inj.SetTelemetry(h)
+	}
+	m := h.Metrics
+	s.telAdmitted = m.Counter("serving_requests_admitted_total",
+		"Requests admitted to a prefill queue.", nil)
+	s.telCompleted = m.Counter("serving_requests_completed_total",
+		"Requests fully served.", nil)
+	s.telSLAMet = m.Counter("sla_requests_total",
+		"Served requests by SLA verdict (TTFT and TPOT both within bound).",
+		[]string{"verdict"}, "met")
+	s.telSLAMissed = m.Counter("sla_requests_total",
+		"Served requests by SLA verdict (TTFT and TPOT both within bound).",
+		[]string{"verdict"}, "missed")
+	s.telTTFT = m.Histogram("ttft_seconds", "Time to first token.",
+		[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}, nil)
+	s.telTPOT = m.Histogram("tpot_seconds", "Mean time per output token after the first.",
+		[]float64{0.01, 0.025, 0.05, 0.075, 0.1, 0.15, 0.25, 0.5}, nil)
+	s.telE2E = m.Histogram("request_seconds", "Request end-to-end latency.",
+		[]float64{0.5, 1, 2.5, 5, 10, 25, 50, 100}, nil)
+	s.telBatchReqs = m.Histogram("prefill_batch_requests", "Requests per prefill batch.",
+		[]float64{1, 2, 4, 8, 16, 32}, nil)
+	s.telBatchToks = m.Histogram("prefill_batch_tokens", "Token budget used per prefill batch.",
+		[]float64{256, 1024, 4096, 8192, 16384, 32768}, nil)
+	for _, di := range s.decode {
+		name := fmt.Sprintf("decode-%d", di.id)
+		di.telOcc = m.Gauge("decode_batch_occupancy",
+			"Requests in the running decode batch.", []string{"instance"}, name)
+		di.telKV = m.Gauge("decode_kv_utilization",
+			"KV-cache memory utilization (clamped at 1.5).", []string{"instance"}, name)
+	}
+}
+
+// scaleInstant surfaces an autoscaler transition on the control-plane track.
+func (s *System) scaleInstant(ev ScaleEvent) {
+	if s.tel == nil {
+		return
+	}
+	s.tel.Trace.InstantAt(ev.T, telemetry.ControlTID, "autoscale", ev.Action,
+		map[string]any{"instance": ev.ID, "active": ev.Active})
 }
 
 // Engine exposes the event engine (for injecting background traffic or
@@ -253,6 +326,7 @@ func (s *System) admit(r *request) {
 	}
 	best.queue = append(best.queue, r)
 	best.queuedTokens += int64(r.req.Input)
+	s.telAdmitted.Inc()
 	s.maybeStartPrefill(best)
 }
 
@@ -277,6 +351,12 @@ func (s *System) maybeStartPrefill(pi *prefillInstance) {
 		kin2 += in * in
 	}
 	pi.busy = true
+	now := s.eng.Now()
+	for _, r := range batch {
+		r.prefillStart = now
+	}
+	s.telBatchReqs.Observe(float64(len(batch)))
+	s.telBatchToks.Observe(float64(kin))
 	s.runPrefillStage(pi, batch, kin, kin2, 0)
 }
 
@@ -371,6 +451,7 @@ func (s *System) transferKV(pi *prefillInstance, r *request) {
 
 // kvArrived queues the request at its decode instance and kicks iteration.
 func (s *System) kvArrived(r *request) {
+	r.kvArrivedAt = s.eng.Now()
 	di := r.target
 	di.inflightKV -= int64(r.req.Input+1) * s.dep.Model.KVBytesPerToken()
 	if r.req.Output <= 1 {
@@ -403,6 +484,7 @@ func (s *System) admitDecode(di *decodeInstance) {
 	}
 	if changed {
 		di.recordKV(s.eng.Now())
+		di.telOcc.Set(float64(len(di.running)))
 	}
 }
 
@@ -465,6 +547,9 @@ func (s *System) finishIteration(di *decodeInstance) {
 		survivors = append(survivors, r)
 	}
 	di.running = survivors
+	if completedAny {
+		di.telOcc.Set(float64(len(di.running)))
+	}
 	if completedAny || di.iterations%int64(s.opts.KVSampleEvery) == 0 {
 		di.recordKV(s.eng.Now())
 	}
@@ -487,6 +572,42 @@ func (s *System) complete(r *request) {
 		TPOT:     tpot,
 		EndToEnd: now - r.req.Arrival,
 	})
+	if s.tel == nil {
+		return
+	}
+	s.telCompleted.Inc()
+	s.telTTFT.Observe(ttft)
+	s.telTPOT.Observe(tpot)
+	s.telE2E.Observe(now - r.req.Arrival)
+	if s.opts.SLA != nil {
+		// Exactly the Results.Attainment criterion, so the exported verdict
+		// counters reproduce the run's attainment bit-for-bit.
+		if ttft <= s.opts.SLA.TTFT && tpot <= s.opts.SLA.TPOT {
+			s.telSLAMet.Inc()
+		} else {
+			s.telSLAMissed.Inc()
+		}
+	}
+	s.emitRequestSpans(r, now)
+}
+
+// emitRequestSpans writes the request's nested lifecycle spans on its own
+// trace thread (tid = request ID + 1): the whole request, then queue ->
+// prefill -> kv-transfer -> decode. Parents precede children, which is how
+// Perfetto resolves equal-timestamp nesting.
+func (s *System) emitRequestSpans(r *request, now sim.Time) {
+	tr := s.tel.Trace
+	tid := r.req.ID + 1
+	tr.Complete(tid, "request", "request", r.req.Arrival, now, map[string]any{
+		"id": r.req.ID, "input": r.req.Input, "output": r.req.Output,
+	})
+	tr.Complete(tid, "request", "queue", r.req.Arrival, r.prefillStart, nil)
+	tr.Complete(tid, "request", "prefill", r.prefillStart, r.firstTokenAt, nil)
+	tr.Complete(tid, "request", "kv-transfer", r.firstTokenAt, r.kvArrivedAt, nil)
+	if r.req.Output > 1 {
+		tr.Complete(tid, "request", "decode", r.kvArrivedAt, now,
+			map[string]any{"tokens": r.generated})
+	}
 }
 
 // recordKV samples the instance's KV utilization.
@@ -495,7 +616,9 @@ func (di *decodeInstance) recordKV(now sim.Time) {
 	if di.kvCap > 0 {
 		util = float64(di.kvUsed) / float64(di.kvCap)
 	}
-	di.series.Add(now, math.Min(util, 1.5)) // clamp runaway force-admissions
+	v := math.Min(util, 1.5) // clamp runaway force-admissions
+	di.series.Add(now, v)
+	di.telKV.Set(v)
 }
 
 // InjectElephants starts n long-lived background transfers ("elephant

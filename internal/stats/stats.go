@@ -196,6 +196,69 @@ func (w *Window) Mean() float64 {
 	return w.sum / float64(n)
 }
 
+// TimeWeighted is an online time-weighted summarizer for a step-valued signal:
+// the value observed at time t holds until the next observation. Unlike Series
+// it keeps O(1) state, so it can back thousands of telemetry gauges. Times are
+// expected nondecreasing; a backwards step contributes zero weight rather than
+// corrupting the accumulator (re-attached clocks restart at zero).
+type TimeWeighted struct {
+	area    float64 // integral of value dt
+	busy    float64 // integral of [value != 0] dt
+	span    float64 // total dt folded in
+	last    float64 // current value of the step function
+	lastT   Time
+	started bool
+}
+
+// Observe advances the step function to time t and sets its value to v.
+func (tw *TimeWeighted) Observe(t Time, v float64) {
+	tw.Advance(t)
+	tw.last = v
+}
+
+// Advance accrues the current value up to time t without changing it.
+func (tw *TimeWeighted) Advance(t Time) {
+	if !tw.started {
+		tw.started = true
+		tw.lastT = t
+		return
+	}
+	dt := t - tw.lastT
+	if dt > 0 {
+		tw.area += tw.last * dt
+		if tw.last != 0 {
+			tw.busy += dt
+		}
+		tw.span += dt
+	}
+	tw.lastT = t
+}
+
+// Value returns the current value of the step function.
+func (tw *TimeWeighted) Value() float64 { return tw.last }
+
+// Mean returns the time-weighted mean over the observed span. Before any time
+// has elapsed it returns the current value (the mean of a zero-length span).
+func (tw *TimeWeighted) Mean() float64 {
+	if tw.span == 0 {
+		return tw.last
+	}
+	return tw.area / tw.span
+}
+
+// BusyFraction returns the fraction of the observed span during which the
+// value was nonzero — the utilization of a busy/idle signal (0 for an empty
+// span).
+func (tw *TimeWeighted) BusyFraction() float64 {
+	if tw.span == 0 {
+		return 0
+	}
+	return tw.busy / tw.span
+}
+
+// Span returns the total time folded into the summarizer.
+func (tw *TimeWeighted) Span() float64 { return tw.span }
+
 // Point is a timestamped sample in a Series.
 type Point struct {
 	T Time

@@ -236,3 +236,59 @@ func TestMeanEmpty(t *testing.T) {
 		t.Error("Mean(nil) should be NaN")
 	}
 }
+
+func TestTimeWeightedMean(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(0, 2) // 2 on [0,1)
+	tw.Observe(1, 4) // 4 on [1,3)
+	tw.Observe(3, 0) // 0 on [3,4)
+	tw.Advance(4)
+	// area = 2*1 + 4*2 + 0*1 = 10 over span 4.
+	if got := tw.Mean(); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+	if got := tw.BusyFraction(); got != 0.75 {
+		t.Errorf("BusyFraction = %g, want 0.75", got)
+	}
+	if tw.Span() != 4 {
+		t.Errorf("Span = %g, want 4", tw.Span())
+	}
+	if tw.Value() != 0 {
+		t.Errorf("Value = %g, want 0", tw.Value())
+	}
+}
+
+func TestTimeWeightedMatchesSeriesMean(t *testing.T) {
+	// TimeWeighted must agree with the offline Series step-function mean.
+	times := []float64{0, 0.5, 0.75, 2, 2, 3.25}
+	vals := []float64{1, 3, 0, 7, 2, 2}
+	var tw TimeWeighted
+	var s Series
+	for i := range times {
+		tw.Observe(times[i], vals[i])
+		s.Add(times[i], vals[i])
+	}
+	if got, want := tw.Mean(), s.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TimeWeighted.Mean = %g, Series.Mean = %g", got, want)
+	}
+}
+
+func TestTimeWeightedDegenerate(t *testing.T) {
+	var tw TimeWeighted
+	if tw.Mean() != 0 || tw.BusyFraction() != 0 {
+		t.Error("zero-value TimeWeighted should summarize to 0")
+	}
+	tw.Observe(5, 3)
+	if tw.Mean() != 3 {
+		t.Errorf("zero-span Mean = %g, want current value 3", tw.Mean())
+	}
+	// Backwards time contributes zero weight and must not poison the mean.
+	tw.Observe(4, 9)
+	tw.Advance(6)
+	if got := tw.Mean(); got != 9 {
+		t.Errorf("backwards-time Mean = %g, want 9 (only the 9-valued span accrued)", got)
+	}
+	if tw.Span() != 2 {
+		t.Errorf("Span = %g, want 2", tw.Span())
+	}
+}

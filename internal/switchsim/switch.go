@@ -2,6 +2,8 @@ package switchsim
 
 import (
 	"fmt"
+
+	"heroserve/internal/telemetry"
 )
 
 // AggLatency is the in-switch aggregation latency per message, treated as a
@@ -117,6 +119,47 @@ type Switch struct {
 	offline  bool  // true while the switch is rebooting
 	counters Counters
 	entryLen int // vector elements per packet
+
+	// Telemetry handles (nil when telemetry is off; all are nil-safe).
+	telVerdicts   [4]*telemetry.Counter // indexed by Verdict
+	telJobsSync   *telemetry.Counter
+	telJobsAsync  *telemetry.Counter
+	telExhaustion *telemetry.Counter
+	telOccupancy  *telemetry.Gauge
+	telSeized     *telemetry.Gauge
+}
+
+// SetTelemetry arms per-switch metrics on the hub's registry. The switch name
+// is the label, so multiple switches share the same families.
+func (s *Switch) SetTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	m := h.Metrics
+	for v := VerdictAbsorbed; v <= VerdictStale; v++ {
+		s.telVerdicts[v] = m.Counter("switch_packets_total",
+			"Aggregation packets by data-plane verdict.",
+			[]string{"switch", "verdict"}, s.name, v.String())
+	}
+	s.telJobsSync = m.Counter("switch_jobs_total",
+		"Aggregation jobs registered.", []string{"switch", "mode"}, s.name, ModeSync.String())
+	s.telJobsAsync = m.Counter("switch_jobs_total",
+		"Aggregation jobs registered.", []string{"switch", "mode"}, s.name, ModeAsync.String())
+	s.telExhaustion = m.Counter("switch_slot_exhaustion_total",
+		"Sync registrations granted fewer slots than requested.", []string{"switch"}, s.name)
+	s.telOccupancy = m.Gauge("switch_slot_occupancy",
+		"Slots held by registered sync jobs.", []string{"switch"}, s.name)
+	s.telSeized = m.Gauge("switch_slots_seized",
+		"Slots seized by fault injection.", []string{"switch"}, s.name)
+}
+
+// recordSlots refreshes the slot gauges after any pool transition.
+func (s *Switch) recordSlots() {
+	if s.telOccupancy == nil {
+		return
+	}
+	s.telOccupancy.Set(float64(len(s.slots) - len(s.free) - len(s.seized)))
+	s.telSeized.Set(float64(len(s.seized)))
 }
 
 // New returns a switch with the given aggregator-slot pool size and entry
@@ -191,6 +234,7 @@ func (s *Switch) SeizeSlots(n int) int {
 	}
 	s.seized = append(s.seized, s.free[len(s.free)-n:]...)
 	s.free = s.free[:len(s.free)-n]
+	s.recordSlots()
 	return n
 }
 
@@ -209,6 +253,7 @@ func (s *Switch) RestoreSlots(n int) int {
 		s.slots[idx] = slot{}
 		s.free = append(s.free, idx)
 	}
+	s.recordSlots()
 	return n
 }
 
@@ -234,6 +279,7 @@ func (s *Switch) wipe() {
 			s.free = append(s.free, i)
 		}
 	}
+	s.recordSlots()
 }
 
 // RegisterJob installs a job. For ModeSync it carves want slots out of the
@@ -261,8 +307,14 @@ func (s *Switch) RegisterJob(job JobID, mode Mode, fanIn, want int) (granted int
 		js.window = append(js.window, s.free[len(s.free)-n:]...)
 		s.free = s.free[:len(s.free)-n]
 		granted = n
+		s.telJobsSync.Inc()
+		if granted < want {
+			s.telExhaustion.Inc()
+		}
+		s.recordSlots()
 	} else {
 		granted = want
+		s.telJobsAsync.Inc()
 	}
 	s.jobs[job] = js
 	return granted, nil
@@ -289,6 +341,7 @@ func (s *Switch) ReleaseJob(job JobID) {
 		}
 	}
 	delete(s.jobs, job)
+	s.recordSlots()
 }
 
 // Ingest processes one aggregation packet and returns the verdict plus, on
@@ -296,15 +349,18 @@ func (s *Switch) ReleaseJob(job JobID) {
 func (s *Switch) Ingest(p Packet) (Verdict, []int32) {
 	if s.offline {
 		s.counters.Drops++
+		s.telVerdicts[VerdictDrop].Inc()
 		return VerdictDrop, nil
 	}
 	js, ok := s.jobs[p.Job]
 	if !ok {
 		s.counters.Drops++
+		s.telVerdicts[VerdictDrop].Inc()
 		return VerdictDrop, nil
 	}
 	if p.Worker < 0 || p.Worker >= js.fanIn {
 		s.counters.Drops++
+		s.telVerdicts[VerdictDrop].Inc()
 		return VerdictDrop, nil
 	}
 	s.counters.PacketsIn++
@@ -315,6 +371,7 @@ func (s *Switch) Ingest(p Packet) (Verdict, []int32) {
 	case ModeSync:
 		if len(js.window) == 0 {
 			s.counters.Drops++
+			s.telVerdicts[VerdictDrop].Inc()
 			return VerdictDrop, nil
 		}
 		idx = js.window[int(p.Seq)%len(js.window)]
@@ -342,12 +399,14 @@ func (s *Switch) Ingest(p Packet) (Verdict, []int32) {
 		// Sync: the slot still serves an earlier round of this job.
 		// Async: another job/round holds the hashed slot.
 		s.counters.Drops++
+		s.telVerdicts[VerdictDrop].Inc()
 		return VerdictDrop, nil
 	}
 
 	bit := uint64(1) << uint(p.Worker)
 	if sl.seen&bit != 0 {
 		s.counters.Stale++
+		s.telVerdicts[VerdictStale].Inc()
 		return VerdictStale, nil
 	}
 	sl.seen |= bit
@@ -367,8 +426,10 @@ func (s *Switch) Ingest(p Packet) (Verdict, []int32) {
 		copy(out, sl.values)
 		*sl = slot{values: sl.values[:0]}
 		s.counters.Aggregates++
+		s.telVerdicts[VerdictComplete].Inc()
 		return VerdictComplete, out
 	}
+	s.telVerdicts[VerdictAbsorbed].Inc()
 	return VerdictAbsorbed, nil
 }
 

@@ -1,0 +1,39 @@
+package telemetry
+
+// Hub bundles a metrics Registry and a span Tracer behind one sim-clock. A Hub
+// is created clockless by the CLI (the discrete-event engine does not exist
+// yet) and bound to an engine by serving.New via Attach. cmd/heroserve runs
+// many systems against one Hub: each run re-attaches, starting a fresh trace
+// process named after its policy, while metrics accumulate across runs.
+type Hub struct {
+	Metrics *Registry
+	Trace   *Tracer
+	clock   func() float64
+}
+
+// New returns an unattached Hub. Until Attach is called the clock reads zero.
+func New() *Hub {
+	h := &Hub{clock: func() float64 { return 0 }}
+	h.Metrics = NewRegistry(h.Now)
+	h.Trace = NewTracer(h.Now)
+	return h
+}
+
+// Now returns the current sim-time in seconds (0 before Attach).
+func (h *Hub) Now() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.clock()
+}
+
+// Attach binds the hub to a run: clock is the engine's Now, process names the
+// trace process (the serving policy). Safe to call once per run.
+func (h *Hub) Attach(clock func() float64, process string) {
+	if h == nil {
+		return
+	}
+	h.clock = clock
+	h.Trace.BeginProcess(process)
+	h.Trace.ThreadName(ControlTID, "control-plane")
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryPromExport(t *testing.T) {
+	clock := 0.0
+	r := NewRegistry(func() float64 { return clock })
+
+	c := r.Counter("requests_total", "Total requests.", []string{"verdict"}, "met")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotone
+	r.Counter("requests_total", "Total requests.", []string{"verdict"}, "missed").Inc()
+
+	g := r.Gauge("occupancy", "Batch occupancy.", []string{"instance"}, "decode-0")
+	g.Set(4)
+	clock = 2
+	g.Set(0)
+	clock = 4 // 4 held for [0,2), 0 for [2,4) -> timeavg 2
+
+	h := r.Histogram("ttft_seconds", "TTFT.", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(50)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		`requests_total{verdict="met"} 3`,
+		`requests_total{verdict="missed"} 1`,
+		"# TYPE occupancy gauge",
+		`occupancy{instance="decode-0"} 0`,
+		`occupancy_timeavg{instance="decode-0"} 2`,
+		"# TYPE ttft_seconds histogram",
+		`ttft_seconds_bucket{le="0.1"} 1`,
+		`ttft_seconds_bucket{le="1"} 2`,
+		`ttft_seconds_bucket{le="+Inf"} 3`,
+		"ttft_seconds_sum 50.55",
+		"ttft_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q\n---\n%s", want, out)
+		}
+	}
+
+	if v, ok := r.Value("requests_total", "met"); !ok || v != 3 {
+		t.Errorf("Value(requests_total,met) = %v,%v", v, ok)
+	}
+	if n, ok := r.HistogramCount("ttft_seconds"); !ok || n != 3 {
+		t.Errorf("HistogramCount = %v,%v", n, ok)
+	}
+
+	// Determinism: a second export at the same clock is byte-identical.
+	var b2 strings.Builder
+	if err := r.WriteProm(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("repeated export differs")
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "", nil)
+	g := r.Gauge("y", "", nil)
+	h := r.Histogram("z", "", []float64{1}, nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must read zero")
+	}
+	if err := r.WriteProm(nil); err != nil {
+		t.Error("nil registry export should be a no-op")
+	}
+	if _, ok := r.Value("x"); ok {
+		t.Error("nil registry Value should report not-found")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry(func() float64 { return 0 })
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry(func() float64 { return 0 })
+	r.Counter("m", "help with \\ and\nnewline", []string{"l"}, "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `m{l="a\"b\\c\nd"} 1`) {
+		t.Errorf("bad label escaping:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP m help with \\ and\nnewline`) {
+		t.Errorf("bad help escaping:\n%s", out)
+	}
+}

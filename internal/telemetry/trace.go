@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ControlTID is the trace thread reserved for control-plane events: scheduler
+// policy picks, fault instants, autoscale actions. Request spans live on
+// thread request-ID+1 so every request gets its own lane in Perfetto.
+const ControlTID = 0
+
+// Event is a single Chrome trace-event. Timestamps and durations are in
+// microseconds of sim-time (the format's native unit).
+type Event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Tracer accumulates trace events in append order. Because the event loop is
+// deterministic, append order is deterministic, and Export writes events
+// verbatim — no sorting, no wall-clock.
+type Tracer struct {
+	clock  func() float64
+	pid    int // current process id; 0 until the first BeginProcess
+	events []Event
+}
+
+// NewTracer returns a tracer reading sim-time (seconds) from clock.
+func NewTracer(clock func() float64) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+func usec(seconds float64) float64 { return seconds * 1e6 }
+
+// BeginProcess starts a new trace process (one per serving run) and emits its
+// process_name metadata. Subsequent events carry the new pid.
+func (t *Tracer) BeginProcess(name string) int {
+	if t == nil {
+		return 0
+	}
+	t.pid++
+	t.events = append(t.events, Event{
+		Name: "process_name", Ph: "M", Pid: t.pid, Tid: ControlTID,
+		Args: map[string]any{"name": name},
+	})
+	return t.pid
+}
+
+// ThreadName labels a thread of the current process.
+func (t *Tracer) ThreadName(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		Name: "thread_name", Ph: "M", Pid: t.pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Complete records a complete ("X") span from start to end sim-seconds. Emit
+// parents before children: Perfetto nests same-thread X events by containment
+// and breaks ties by array order.
+func (t *Tracer) Complete(tid int, cat, name string, start, end float64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	dur := usec(end - start)
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Ph: "X", Ts: usec(start), Dur: &dur,
+		Pid: t.pid, Tid: tid, Args: args,
+	})
+}
+
+// Instant records a thread-scoped instant ("i") event at the current sim-time.
+func (t *Tracer) Instant(tid int, cat, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.InstantAt(t.clock(), tid, cat, name, args)
+}
+
+// InstantAt records an instant event at an explicit sim-time.
+func (t *Tracer) InstantAt(at float64, tid int, cat, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Ph: "i", Ts: usec(at), Pid: t.pid, Tid: tid,
+		Scope: "t", Args: args,
+	})
+}
+
+// AsyncBegin opens an async ("b") span — used for collectives, whose lifetime
+// spans many event-loop callbacks. Begin/end pairs match on (cat, id, name).
+func (t *Tracer) AsyncBegin(cat, name string, id int64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Ph: "b", Ts: usec(t.clock()), Pid: t.pid,
+		Tid: ControlTID, ID: fmt.Sprintf("0x%x", id), Args: args,
+	})
+}
+
+// AsyncEnd closes an async span opened with AsyncBegin.
+func (t *Tracer) AsyncEnd(cat, name string, id int64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Ph: "e", Ts: usec(t.clock()), Pid: t.pid,
+		Tid: ControlTID, ID: fmt.Sprintf("0x%x", id),
+	})
+}
+
+// Len returns the number of recorded events (0 on the nil tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events (for tests).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Export writes the trace as Chrome trace-event JSON ("JSON object format"),
+// loadable in Perfetto / chrome://tracing. Output is deterministic:
+// encoding/json sorts map keys, and events are written in append order.
+func (t *Tracer) Export(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	doc := struct {
+		DisplayTimeUnit string  `json:"displayTimeUnit"`
+		TraceEvents     []Event `json:"traceEvents"`
+	}{DisplayTimeUnit: "ms", TraceEvents: t.events}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// Float sanitizes a float64 for use in trace-event args: encoding/json rejects
+// IEEE Inf/NaN, which policy-cost tables legitimately contain (Inf-priced
+// faulted paths), so those become strings.
+func Float(v float64) any {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return v
+}

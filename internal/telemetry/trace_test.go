@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestTracerExportIsValidChromeJSON(t *testing.T) {
+	clock := 0.0
+	tr := NewTracer(func() float64 { return clock })
+	pid := tr.BeginProcess("heroserve")
+	if pid != 1 {
+		t.Fatalf("first pid = %d, want 1", pid)
+	}
+	tr.ThreadName(ControlTID, "control-plane")
+	tr.Complete(5, "request", "request", 1.0, 3.0, map[string]any{"id": 4})
+	tr.Complete(5, "request", "prefill", 1.0, 2.0, nil)
+	clock = 1.5
+	tr.Instant(ControlTID, "sched", "policy-select", map[string]any{"cost": Float(math.Inf(1))})
+	tr.AsyncBegin("collective", "allreduce", 7, map[string]any{"scheme": "ring"})
+	clock = 2.5
+	tr.AsyncEnd("collective", "allreduce", 7)
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("got %d events, want 7", len(doc.TraceEvents))
+	}
+	// Complete spans are in microseconds.
+	req := doc.TraceEvents[2]
+	if req["ph"] != "X" || req["ts"].(float64) != 1e6 || req["dur"].(float64) != 2e6 {
+		t.Errorf("bad complete span: %v", req)
+	}
+	inst := doc.TraceEvents[4]
+	if inst["ph"] != "i" || inst["s"] != "t" {
+		t.Errorf("bad instant: %v", inst)
+	}
+	if inst["args"].(map[string]any)["cost"] != "+Inf" {
+		t.Errorf("Inf arg not sanitized: %v", inst)
+	}
+	b, e := doc.TraceEvents[5], doc.TraceEvents[6]
+	if b["ph"] != "b" || e["ph"] != "e" || b["id"] != e["id"] || b["id"] != "0x7" {
+		t.Errorf("bad async pair: %v / %v", b, e)
+	}
+
+	// Determinism: identical call sequence => identical bytes.
+	clock = 0
+	tr2 := NewTracer(func() float64 { return clock })
+	tr2.BeginProcess("heroserve")
+	tr2.ThreadName(ControlTID, "control-plane")
+	tr2.Complete(5, "request", "request", 1.0, 3.0, map[string]any{"id": 4})
+	tr2.Complete(5, "request", "prefill", 1.0, 2.0, nil)
+	clock = 1.5
+	tr2.Instant(ControlTID, "sched", "policy-select", map[string]any{"cost": Float(math.Inf(1))})
+	tr2.AsyncBegin("collective", "allreduce", 7, map[string]any{"scheme": "ring"})
+	clock = 2.5
+	tr2.AsyncEnd("collective", "allreduce", 7)
+	var buf2 bytes.Buffer
+	if err := tr2.Export(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("same call sequence produced different bytes")
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.BeginProcess("p")
+	tr.ThreadName(0, "t")
+	tr.Complete(0, "c", "n", 0, 1, nil)
+	tr.Instant(0, "c", "n", nil)
+	tr.InstantAt(1, 0, "c", "n", nil)
+	tr.AsyncBegin("c", "n", 1, nil)
+	tr.AsyncEnd("c", "n", 1)
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Error("nil tracer must record nothing")
+	}
+	if err := tr.Export(nil); err != nil {
+		t.Error("nil tracer export should be a no-op")
+	}
+}
+
+func TestEmptyTracerExportsEmptyArray(t *testing.T) {
+	tr := NewTracer(func() float64 { return 0 })
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceEvents == nil || len(doc.TraceEvents) != 0 {
+		t.Errorf("want empty traceEvents array, got %v", doc.TraceEvents)
+	}
+}
+
+func TestCompleteClampsBackwardsSpan(t *testing.T) {
+	tr := NewTracer(func() float64 { return 0 })
+	tr.BeginProcess("p")
+	tr.Complete(0, "c", "n", 5, 4, nil)
+	ev := tr.Events()[1]
+	if *ev.Dur != 0 {
+		t.Errorf("backwards span dur = %g, want 0", *ev.Dur)
+	}
+}
+
+func TestHubAttach(t *testing.T) {
+	h := New()
+	if h.Now() != 0 {
+		t.Error("unattached hub clock should read 0")
+	}
+	h.Metrics.Gauge("g", "", nil).Set(1) // safe before attach
+	clock := 42.0
+	h.Attach(func() float64 { return clock }, "policy-A")
+	if h.Now() != 42 {
+		t.Errorf("Now = %g, want 42", h.Now())
+	}
+	if h.Trace.Len() != 2 {
+		t.Errorf("attach should emit process+thread metadata, got %d events", h.Trace.Len())
+	}
+	h.Attach(func() float64 { return clock }, "policy-B")
+	evs := h.Trace.Events()
+	if evs[2].Pid != 2 {
+		t.Errorf("second attach should open pid 2, got %d", evs[2].Pid)
+	}
+	var nh *Hub
+	nh.Attach(nil, "x") // nil hub is a no-op
+	if nh.Now() != 0 {
+		t.Error("nil hub Now should read 0")
+	}
+}

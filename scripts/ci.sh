@@ -21,4 +21,22 @@ go build ./...
 echo "== go test -race"
 go test -race -timeout 45m ./... "$@"
 
+# Telemetry artifact smoke: a small end-to-end serve run must export a
+# non-empty, well-formed Chrome trace and Prometheus metrics. Artifacts
+# land in ARTIFACT_DIR (a temp dir by default) for CI upload.
+echo "== telemetry smoke"
+ART="${ARTIFACT_DIR:-$(mktemp -d)}"
+mkdir -p "$ART"
+go run ./cmd/tracegen -kind chatbot -n 40 -rate 4 -seed 7 > "$ART/trace.json"
+go run ./cmd/serve -trace "$ART/trace.json" -system heroserve -topology testbed \
+	-model opt-13b -trace-out "$ART/spans.json" -metrics-out "$ART/metrics.prom"
+if command -v jq >/dev/null 2>&1; then
+	jq -e '.traceEvents | length > 0' "$ART/spans.json" >/dev/null
+else
+	python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents']" "$ART/spans.json"
+fi
+test -s "$ART/metrics.prom"
+grep -q '^serving_requests_completed_total' "$ART/metrics.prom"
+echo "telemetry artifacts: $ART"
+
 echo "CI OK"
