@@ -6,17 +6,29 @@
 //	heroserve -exp fig7              # one experiment
 //	heroserve -exp all -scale full   # everything, paper-sized sweeps
 //	heroserve -exp faults -trace-out spans.json -metrics-out metrics.prom
+//	heroserve -exp all -listen :9090 # live /metrics + /runs during the sweep
 //	heroserve -list                  # enumerate experiment ids
+//
+// With -trace-out the tracer streams events to disk incrementally (the
+// StreamTracer backend), so `-exp all -scale full` sweeps no longer buffer
+// the whole trace in RAM. With -listen, /metrics, /healthz, /runs, and
+// /trace are served over HTTP and refreshed after every completed serving
+// run, so scrapers can watch a multi-hour sweep live; the process still
+// exits when the sweep finishes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"heroserve/internal/experiments"
+	"heroserve/internal/serving"
+	"heroserve/internal/stats"
 	"heroserve/internal/telemetry"
 )
 
@@ -51,8 +63,9 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "sweep sizing: quick | full")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	list := flag.Bool("list", false, "list experiment ids")
-	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON across all runs here")
+	traceOut := flag.String("trace-out", "", "stream Chrome trace-event JSON across all runs here")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics across all runs here")
+	listen := flag.String("listen", "", "serve live /metrics /healthz /runs /trace on this address during the sweep")
 	flag.Parse()
 
 	if *list {
@@ -110,9 +123,59 @@ func main() {
 	}
 
 	var hub *telemetry.Hub
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *listen != "" {
 		hub = telemetry.New()
 		experiments.SetTelemetry(hub)
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		var err error
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heroserve: trace export: %v\n", err)
+			os.Exit(1)
+		}
+		if err := hub.Trace.StreamTo(traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "heroserve: trace export: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *listen != "" {
+		srv := telemetry.NewServer()
+		if *traceOut != "" {
+			srv.SetTraceFile(*traceOut)
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heroserve: listen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving /metrics /healthz /runs /trace on %s\n", ln.Addr())
+		go func() {
+			if serr := http.Serve(ln, srv); serr != nil {
+				fmt.Fprintf(os.Stderr, "heroserve: http: %v\n", serr)
+			}
+		}()
+		// The observer runs on the sweep goroutine after each serving run, so
+		// publishing the hub from it is race-free (see telemetry.Server).
+		experiments.SetRunObserver(func(kind experiments.SystemKind, res *serving.Results, sla serving.SLA) {
+			ttfts := stats.Summarize(res.TTFTs())
+			tpots := stats.Summarize(res.TPOTs())
+			srv.AddRun(telemetry.RunSummary{
+				System:     kind.String(),
+				Policy:     res.PolicyName,
+				Trace:      "experiment",
+				Requests:   len(res.Requests),
+				Served:     res.Served,
+				SimSeconds: res.Duration,
+				Attainment: res.Attainment(sla),
+				TTFT:       telemetry.Latency{Mean: ttfts.Mean, P50: ttfts.P50, P90: ttfts.P90, P99: ttfts.P99},
+				TPOT:       telemetry.Latency{Mean: tpots.Mean, P50: tpots.P50, P90: tpots.P90, P99: tpots.P99},
+			})
+			if err := srv.PublishHub(hub); err != nil {
+				fmt.Fprintf(os.Stderr, "heroserve: publish: %v\n", err)
+			}
+		})
 	}
 
 	for i, id := range ids {
@@ -133,11 +196,15 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		if err := exportFile(*traceOut, hub.Trace.Export); err != nil {
+		if err := hub.Trace.CloseStream(); err != nil {
 			fmt.Fprintf(os.Stderr, "heroserve: trace export: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %d trace events to %s\n", hub.Trace.Len(), *traceOut)
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "heroserve: trace export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("streamed %d trace events to %s\n", hub.Trace.Len(), *traceOut)
 	}
 	if *metricsOut != "" {
 		if err := exportFile(*metricsOut, hub.Metrics.WriteProm); err != nil {

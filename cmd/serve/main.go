@@ -8,15 +8,28 @@
 //	serve -trace trace.json -system heroserve -topology testbed -model opt-66b
 //	serve -trace trace.json -system distserve -elephants 4
 //	serve -trace trace.json -trace-out spans.json -metrics-out metrics.prom
+//
+// Daemon mode keeps a live observability plane up while the simulation runs
+// (and after it finishes, until interrupted): /metrics serves the Prometheus
+// exposition, /healthz liveness, /runs the completed-run summaries as JSON,
+// and /trace the current trace snapshot. With -daemon, -system accepts a
+// comma-separated list replayed sequentially against the same trace:
+//
+//	serve -trace trace.json -daemon -listen :9090 -system heroserve,distserve
+//	curl localhost:9090/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"heroserve/internal/baselines"
 	"heroserve/internal/core"
@@ -39,7 +52,7 @@ var (
 
 func main() {
 	tracePath := flag.String("trace", "", "JSON trace file ('-' for stdin)")
-	system := flag.String("system", "heroserve", "heroserve | distserve | ds-atp | ds-switchml")
+	system := flag.String("system", "heroserve", "heroserve | distserve | ds-atp | ds-switchml (comma list with -daemon)")
 	topo := flag.String("topology", "testbed", "testbed | pod2 | pod8")
 	servers := flag.Int("servers", 12, "pod server count")
 	modelName := flag.String("model", "opt-66b", "opt-13b | opt-66b | opt-175b")
@@ -50,18 +63,30 @@ func main() {
 	elephants := flag.Int("elephants", 0, "background elephant-flow lanes")
 	autoscale := flag.Bool("autoscale", false, "enable decode-instance autoscaling")
 	seed := flag.Int64("seed", 1, "deterministic seed")
-	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (Perfetto-loadable) here")
+	traceOut := flag.String("trace-out", "", "stream Chrome trace-event JSON (Perfetto-loadable) here")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics here")
+	daemon := flag.Bool("daemon", false, "serve /metrics /healthz /runs /trace over HTTP and stay up after the run")
+	listen := flag.String("listen", ":9090", "daemon listen address")
+	publishEvery := flag.Float64("publish-every", 5, "daemon metrics-snapshot cadence in simulated seconds")
 	flag.Parse()
 
-	if !systems[*system] {
-		fatalf("unknown system %q (allowed: %s)", *system, allowed(systems))
+	sysNames := strings.Split(*system, ",")
+	if len(sysNames) > 1 && !*daemon {
+		fatalf("comma-separated -system requires -daemon")
+	}
+	for _, name := range sysNames {
+		if !systems[name] {
+			fatalf("unknown system %q (allowed: %s)", name, allowed(systems))
+		}
 	}
 	if !topos[*topo] {
 		fatalf("unknown topology %q (allowed: %s)", *topo, allowed(topos))
 	}
 	if !models[*modelName] {
 		fatalf("unknown model %q (allowed: %s)", *modelName, allowed(models))
+	}
+	if *daemon && *publishEvery <= 0 {
+		fatalf("-publish-every must be positive")
 	}
 	if *tracePath == "" {
 		fatalf("-trace required (use cmd/tracegen to produce one)")
@@ -118,20 +143,99 @@ func main() {
 		MinTensDecode: *minTens,
 		Seed:          *seed,
 	}
+
+	// Telemetry: daemon mode always arms the hub; -trace-out selects the
+	// streaming tracer backend so long runs never buffer the trace in RAM.
+	var hub *telemetry.Hub
+	if *traceOut != "" || *metricsOut != "" || *daemon {
+		hub = telemetry.New()
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fatalf("trace export: %v", err)
+		}
+		if err := hub.Trace.StreamTo(traceFile); err != nil {
+			fatalf("trace export: %v", err)
+		}
+	}
+
+	var srv *telemetry.Server
+	if *daemon {
+		srv = telemetry.NewServer()
+		if *traceOut != "" {
+			srv.SetTraceFile(*traceOut)
+		}
+		ln, lerr := net.Listen("tcp", *listen)
+		if lerr != nil {
+			fatalf("daemon: %v", lerr)
+		}
+		fmt.Printf("daemon: serving /metrics /healthz /runs /trace on %s\n", ln.Addr())
+		go func() {
+			if serr := http.Serve(ln, srv); serr != nil {
+				fmt.Fprintf(os.Stderr, "serve: daemon http: %v\n", serr)
+			}
+		}()
+	}
+
+	for _, name := range sysNames {
+		runSystem(name, in, trace, hub, srv, runParams{
+			sla: sla, autoscale: *autoscale, elephants: *elephants,
+			seed: *seed, publishEvery: *publishEvery,
+		})
+	}
+
+	if *traceOut != "" {
+		if err := hub.Trace.CloseStream(); err != nil {
+			fatalf("trace export: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatalf("trace export: %v", err)
+		}
+		fmt.Printf("streamed %d trace events to %s\n", hub.Trace.Len(), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := exportFile(*metricsOut, hub.Metrics.WriteProm); err != nil {
+			fatalf("metrics export: %v", err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+
+	if *daemon {
+		fmt.Println("daemon: runs complete; serving until interrupted (Ctrl-C)")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
+}
+
+// runParams carries the per-run knobs that are not planner inputs.
+type runParams struct {
+	sla          serving.SLA
+	autoscale    bool
+	elephants    int
+	seed         int64
+	publishEvery float64
+}
+
+// runSystem plans, builds, and replays the trace through one system,
+// printing its summary. With a daemon server attached it also schedules
+// periodic sim-time snapshot publications and records the run for /runs.
+func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telemetry.Hub, srv *telemetry.Server, p runParams) {
 	opts := serving.Options{}
-	if *autoscale {
+	if p.autoscale {
 		opts.Autoscale = &serving.AutoscaleConfig{InitialActive: 1}
 	}
-	var hub *telemetry.Hub
-	if *traceOut != "" || *metricsOut != "" {
-		hub = telemetry.New()
+	if hub != nil {
 		opts.Telemetry = hub
-		opts.SLA = &sla
+		opts.SLA = &p.sla
 	}
 
 	var sys *serving.System
 	var plan *planner.Plan
-	switch *system {
+	var err error
+	switch name {
 	case "heroserve":
 		sys, plan, _, err = core.NewSystem(in, nil, opts)
 	case "distserve":
@@ -142,19 +246,30 @@ func main() {
 		sys, plan, err = baselines.NewSystem(baselines.DSSwitchML, in, opts)
 	}
 	if err != nil {
-		fatalf("planning: %v", err)
+		fatalf("planning %s: %v", name, err)
 	}
-	if *elephants > 0 {
-		sys.InjectElephants(*elephants, 512<<20, trace.Duration()+120, *seed+99)
+	if p.elephants > 0 {
+		sys.InjectElephants(p.elephants, 512<<20, trace.Duration()+120, p.seed+99)
+	}
+	if srv != nil {
+		// Periodic snapshots ride the event loop itself: callbacks run on the
+		// simulation goroutine, so rendering the registry there is race-free,
+		// and scrapers see fresh numbers while the run is still in flight.
+		eng := sys.Engine()
+		horizon := trace.Duration() + 120
+		for t := p.publishEvery; t < horizon; t += p.publishEvery {
+			eng.Schedule(t, func() { srv.PublishHub(hub) })
+		}
 	}
 
 	res := sys.Run(trace)
+	rate := float64(len(trace.Requests)) / trace.Duration()
 	ttfts := stats.Summarize(res.TTFTs())
 	tpots := stats.Summarize(res.TPOTs())
 	fmt.Printf("system=%s plan=%s trace=%s requests=%d rate=%.3g req/s\n",
 		res.PolicyName, plan.Candidate, trace.Name, len(trace.Requests), rate)
 	fmt.Printf("served=%d in %.1fs simulated; SLA attainment=%.1f%%\n",
-		res.Served, res.Duration, res.Attainment(sla)*100)
+		res.Served, res.Duration, res.Attainment(p.sla)*100)
 	fmt.Printf("TTFT: mean=%.3fs p50=%.3fs p90=%.3fs p99=%.3fs\n", ttfts.Mean, ttfts.P50, ttfts.P90, ttfts.P99)
 	fmt.Printf("TPOT: mean=%.4fs p50=%.4fs p90=%.4fs p99=%.4fs\n", tpots.Mean, tpots.P50, tpots.P90, tpots.P99)
 	fmt.Printf("comm: ring=%d ina-sync=%d ina-async=%d hetero=%d transfers=%d\n",
@@ -168,17 +283,21 @@ func main() {
 		}
 	}
 
-	if *traceOut != "" {
-		if err := exportFile(*traceOut, hub.Trace.Export); err != nil {
-			fatalf("trace export: %v", err)
+	if srv != nil {
+		srv.AddRun(telemetry.RunSummary{
+			System:     name,
+			Policy:     res.PolicyName,
+			Trace:      trace.Name,
+			Requests:   len(trace.Requests),
+			Served:     res.Served,
+			SimSeconds: res.Duration,
+			Attainment: res.Attainment(p.sla),
+			TTFT:       telemetry.Latency{Mean: ttfts.Mean, P50: ttfts.P50, P90: ttfts.P90, P99: ttfts.P99},
+			TPOT:       telemetry.Latency{Mean: tpots.Mean, P50: tpots.P50, P90: tpots.P90, P99: tpots.P99},
+		})
+		if err := srv.PublishHub(hub); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: daemon publish: %v\n", err)
 		}
-		fmt.Printf("wrote %d trace events to %s\n", hub.Trace.Len(), *traceOut)
-	}
-	if *metricsOut != "" {
-		if err := exportFile(*metricsOut, hub.Metrics.WriteProm); err != nil {
-			fatalf("metrics export: %v", err)
-		}
-		fmt.Printf("wrote metrics to %s\n", *metricsOut)
 	}
 }
 

@@ -178,6 +178,24 @@ func (c *Comm) Transfer(from, to topology.NodeID, bytes int64, done func()) {
 	c.net.StartFlow(p, bytes, func(*netsim.Flow) { done() })
 }
 
+// TransferSpan is Transfer bracketed by an async trace span (matching the
+// all-reduce bracketing in AllReduce), for moves that deserve their own named
+// lane in the exported trace — pipeline-stage activation hand-offs use it so
+// they stop appearing as anonymous netsim flows.
+func (c *Comm) TransferSpan(cat, name string, args map[string]any, from, to topology.NodeID, bytes int64, done func()) {
+	if c.tel != nil {
+		c.asyncSeq++
+		id := c.asyncSeq
+		c.tel.Trace.AsyncBegin(cat, name, id, args)
+		inner := done
+		done = func() {
+			c.tel.Trace.AsyncEnd(cat, name, id)
+			inner()
+		}
+	}
+	c.Transfer(from, to, bytes, done)
+}
+
 // barrier invokes done after n completions have been signalled.
 func barrier(n int, done func()) func() {
 	if n <= 0 {

@@ -148,6 +148,32 @@ func TestTelemetryTraceWellFormed(t *testing.T) {
 	}
 }
 
+// TestStreamTracerMatchesBufferedOnSameSeed drives a full end-to-end serving
+// run through both tracer backends: the on-disk (streamed) JSON must equal
+// the buffered Export byte-for-byte.
+func TestStreamTracerMatchesBufferedOnSameSeed(t *testing.T) {
+	_, spans, _ := runTelemetry(t, nil) // buffered backend
+
+	in := inputs(t)
+	hub := telemetry.New()
+	var streamed bytes.Buffer
+	if err := hub.Trace.StreamTo(&streamed); err != nil {
+		t.Fatal(err)
+	}
+	sla := in.SLA
+	sys, _, _, err := NewSystem(in, nil, serving.Options{Telemetry: hub, SLA: &sla})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(workload.NewGenerator(workload.Chatbot, 9).Generate(20, 2))
+	if err := hub.Trace.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), spans) {
+		t.Error("streamed trace differs from buffered export on the same seed")
+	}
+}
+
 func TestTelemetryRecordsFaults(t *testing.T) {
 	in := inputs(t)
 	g := in.Graph

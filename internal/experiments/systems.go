@@ -22,6 +22,16 @@ var telemetryHub *telemetry.Hub
 // -metrics-out is given.
 func SetTelemetry(h *telemetry.Hub) { telemetryHub = h }
 
+// runObserver, when set via SetRunObserver, is invoked after every serving
+// run this package completes, with the system kind, the run's results, and
+// the SLA it was planned against. It runs on the goroutine driving the
+// experiments. cmd/heroserve uses it to publish live /runs and /metrics
+// snapshots while a long sweep is still in flight.
+var runObserver func(SystemKind, *serving.Results, serving.SLA)
+
+// SetRunObserver installs (or, with nil, removes) the per-run observer.
+func SetRunObserver(fn func(SystemKind, *serving.Results, serving.SLA)) { runObserver = fn }
+
 // SystemKind enumerates the four evaluated systems.
 type SystemKind uint8
 
@@ -133,7 +143,11 @@ func runOnce(cfg runConfig) (*serving.Results, error) {
 		sys.InjectElephants(cfg.elephants, cfg.elephantBytes, cfg.elephantHorizon, cfg.seed+211)
 	}
 	trace := workload.NewGenerator(cfg.workload, cfg.seed).Generate(cfg.requests, cfg.rate)
-	return sys.Run(trace), nil
+	res := sys.Run(trace)
+	if runObserver != nil {
+		runObserver(cfg.kind, res, cfg.in.SLA)
+	}
+	return res, nil
 }
 
 // ratePoint is one point of a scalability sweep.

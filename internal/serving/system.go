@@ -3,6 +3,7 @@ package serving
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"heroserve/internal/collective"
 	"heroserve/internal/faults"
@@ -192,6 +193,18 @@ func (s *System) attachTelemetry(h *telemetry.Hub) {
 	}
 }
 
+// stageTransferCounter returns the per-stage activation hand-off counter
+// (nil handle when telemetry is off). stage is the 1-based destination
+// pipeline stage.
+func (s *System) stageTransferCounter(stage int) *telemetry.Counter {
+	if s.tel == nil {
+		return nil
+	}
+	return s.tel.Metrics.Counter("pipeline_stage_transfers_total",
+		"Pipeline-stage activation hand-offs, by 1-based destination stage.",
+		[]string{"stage"}, strconv.Itoa(stage))
+}
+
 // scaleInstant surfaces an autoscaler transition on the control-plane track.
 func (s *System) scaleInstant(ev ScaleEvent) {
 	if s.tel == nil {
@@ -375,7 +388,11 @@ func (s *System) runPrefillStage(pi *prefillInstance, batch []*request, kin, kin
 			if stage+1 < spec.Ppipe() {
 				from := spec.Stages[stage][0]
 				to := spec.Stages[stage+1][0]
-				s.comm.Transfer(from, to, s.dep.Model.PipelineActivationBytes(kin), func() {
+				bytes := s.dep.Model.PipelineActivationBytes(kin)
+				s.stageTransferCounter(stage + 1).Inc()
+				s.comm.TransferSpan("pipeline", "pipeline_stage", map[string]any{
+					"stage": stage + 1, "instance": pi.id, "bytes": bytes,
+				}, from, to, bytes, func() {
 					s.runPrefillStage(pi, batch, kin, kin2, stage+1)
 				})
 				return

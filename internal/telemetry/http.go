@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Latency summarizes one latency distribution for /runs.
+type Latency struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+}
+
+// RunSummary is one completed serving run, as reported by the daemon's /runs
+// endpoint. System is the CLI/experiment system id (e.g. "heroserve",
+// "DS-ATP"); Policy is the communication policy the run executed.
+type RunSummary struct {
+	ID         int     `json:"id"`
+	System     string  `json:"system"`
+	Policy     string  `json:"policy"`
+	Trace      string  `json:"trace"`
+	Requests   int     `json:"requests"`
+	Served     int     `json:"served"`
+	SimSeconds float64 `json:"sim_seconds"`
+	Attainment float64 `json:"sla_attainment"`
+	TTFT       Latency `json:"ttft"`
+	TPOT       Latency `json:"tpot"`
+}
+
+// Server exposes a Hub over HTTP: /metrics (Prometheus text exposition),
+// /healthz, /runs (completed-run summaries as JSON), and /trace (the current
+// trace snapshot as Chrome trace-event JSON).
+//
+// The Registry and Tracer are single-goroutine structures owned by the
+// simulation loop, so the Server never reads them directly. Instead the
+// simulation goroutine renders immutable snapshots at safe points — between
+// events or between runs — via PublishHub, and handlers serve the latest
+// snapshot under a read lock. Scrapers therefore observe a consistent,
+// slightly stale view and can never race the event loop.
+type Server struct {
+	mu        sync.RWMutex
+	simTime   float64
+	published int
+	prom      []byte
+	trace     []byte
+	traceFile string
+	runs      []RunSummary
+}
+
+// NewServer returns an empty Server; install it as an http.Handler.
+func NewServer() *Server { return &Server{} }
+
+// PublishHub renders a snapshot of the hub's metrics — and, unless the
+// tracer is streaming to disk, its trace — and stores it for the handlers.
+// It MUST be called from the goroutine that owns the hub (the simulation
+// loop) at a safe point; that discipline is what keeps the daemon
+// race-detector clean.
+func (s *Server) PublishHub(h *Hub) error {
+	var prom bytes.Buffer
+	if err := h.Metrics.WriteProm(&prom); err != nil {
+		return err
+	}
+	var trace []byte
+	if !h.Trace.Streaming() {
+		var tb bytes.Buffer
+		if err := h.Trace.Export(&tb); err != nil {
+			return err
+		}
+		trace = tb.Bytes()
+	}
+	s.mu.Lock()
+	s.simTime = h.Now()
+	s.published++
+	s.prom = prom.Bytes()
+	s.trace = trace
+	s.mu.Unlock()
+	return nil
+}
+
+// AddRun records a completed run for /runs, assigning it the next sequential
+// ID. Safe to call from the goroutine driving the runs.
+func (s *Server) AddRun(r RunSummary) {
+	s.mu.Lock()
+	r.ID = len(s.runs) + 1
+	s.runs = append(s.runs, r)
+	s.mu.Unlock()
+}
+
+// SetTraceFile records the path the trace is being streamed to, so /trace
+// can point callers at the file instead of a (nonexistent) in-memory
+// snapshot.
+func (s *Server) SetTraceFile(path string) {
+	s.mu.Lock()
+	s.traceFile = path
+	s.mu.Unlock()
+}
+
+// ServeHTTP routes the daemon's four endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/metrics":
+		s.serveMetrics(w)
+	case "/healthz":
+		s.serveHealthz(w)
+	case "/runs":
+		s.serveRuns(w)
+	case "/trace":
+		s.serveTrace(w)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter) {
+	s.mu.RLock()
+	body := s.prom
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(body)
+}
+
+func (s *Server) serveHealthz(w http.ResponseWriter) {
+	s.mu.RLock()
+	resp := struct {
+		Status    string  `json:"status"`
+		SimTime   float64 `json:"sim_time"`
+		Published int     `json:"published"`
+		Runs      int     `json:"runs"`
+	}{"ok", s.simTime, s.published, len(s.runs)}
+	s.mu.RUnlock()
+	writeJSON(w, resp)
+}
+
+func (s *Server) serveRuns(w http.ResponseWriter) {
+	s.mu.RLock()
+	runs := s.runs
+	s.mu.RUnlock()
+	if runs == nil {
+		runs = []RunSummary{}
+	}
+	writeJSON(w, runs)
+}
+
+func (s *Server) serveTrace(w http.ResponseWriter) {
+	s.mu.RLock()
+	body, file := s.trace, s.traceFile
+	s.mu.RUnlock()
+	switch {
+	case len(body) > 0:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="spans.json"`)
+		w.Write(body)
+	case file != "":
+		http.Error(w, fmt.Sprintf("trace is streaming to %s; no in-memory snapshot", file),
+			http.StatusConflict)
+	default:
+		http.Error(w, "no trace snapshot published yet", http.StatusNotFound)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// driveTracer records a representative event sequence: two processes,
+// metadata, instants, an async pair, a complete span, and an Inf-sanitized
+// arg — everything the real instrumentation emits.
+func driveTracer(tr *Tracer, clock *float64) {
+	tr.BeginProcess("policy-A")
+	tr.ThreadName(ControlTID, "control-plane")
+	*clock = 1
+	tr.Instant(ControlTID, "fault", "link-degrade", map[string]any{"edge": 0})
+	tr.AsyncBegin("collective", "allreduce", 1,
+		map[string]any{"scheme": "hetero", "cost": Float(math.Inf(1))})
+	*clock = 2.5
+	tr.AsyncEnd("collective", "allreduce", 1)
+	tr.Complete(3, "request", "request", 0.5, 2.25, map[string]any{"id": 2})
+	tr.BeginProcess("policy-B")
+	*clock = 0.25
+	tr.Instant(ControlTID, "autoscale", "scale-out", nil)
+}
+
+func TestStreamTracerMatchesBufferedByteForByte(t *testing.T) {
+	var c1 float64
+	buffered := NewTracer(func() float64 { return c1 })
+	driveTracer(buffered, &c1)
+	var want bytes.Buffer
+	if err := buffered.Export(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	var c2 float64
+	streamed, err := NewStreamTracer(func() float64 { return c2 }, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveTracer(streamed, &c2)
+	if err := streamed.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("streamed document differs from buffered Export:\nstream: %s\nbuffer: %s",
+			got.Bytes(), want.Bytes())
+	}
+	if streamed.Len() != buffered.Len() {
+		t.Errorf("streamed Len = %d, buffered Len = %d", streamed.Len(), buffered.Len())
+	}
+	if streamed.Events() != nil {
+		t.Error("streaming backend should not retain events")
+	}
+}
+
+func TestStreamTracerEmptyDocument(t *testing.T) {
+	clock := func() float64 { return 0 }
+	empty := NewTracer(clock)
+	var want bytes.Buffer
+	if err := empty.Export(&want); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	st, err := NewStreamTracer(clock, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("empty stream %q != empty export %q", got.Bytes(), want.Bytes())
+	}
+}
+
+func TestStreamToFlushesBufferedPrefix(t *testing.T) {
+	// Record half the sequence buffered, switch to streaming mid-way: the
+	// final document must still equal a fully-buffered export.
+	var c1 float64
+	reference := NewTracer(func() float64 { return c1 })
+	driveTracer(reference, &c1)
+	var want bytes.Buffer
+	if err := reference.Export(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	var c2 float64
+	tr := NewTracer(func() float64 { return c2 })
+	tr.BeginProcess("policy-A")
+	tr.ThreadName(ControlTID, "control-plane")
+	c2 = 1
+	tr.Instant(ControlTID, "fault", "link-degrade", map[string]any{"edge": 0})
+
+	var got bytes.Buffer
+	if err := tr.StreamTo(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Streaming() {
+		t.Fatal("tracer should report streaming after StreamTo")
+	}
+	tr.AsyncBegin("collective", "allreduce", 1,
+		map[string]any{"scheme": "hetero", "cost": Float(math.Inf(1))})
+	c2 = 2.5
+	tr.AsyncEnd("collective", "allreduce", 1)
+	tr.Complete(3, "request", "request", 0.5, 2.25, map[string]any{"id": 2})
+	tr.BeginProcess("policy-B")
+	c2 = 0.25
+	tr.Instant(ControlTID, "autoscale", "scale-out", nil)
+	if err := tr.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("mid-switch stream differs from buffered export:\nstream: %s\nbuffer: %s",
+			got.Bytes(), want.Bytes())
+	}
+}
+
+func TestStreamingTracerRefusesExportAndDoubleStream(t *testing.T) {
+	var buf bytes.Buffer
+	tr, err := NewStreamTracer(func() float64 { return 0 }, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Export(&bytes.Buffer{}); err == nil {
+		t.Error("Export should fail while streaming")
+	}
+	if err := tr.StreamTo(&bytes.Buffer{}); err == nil {
+		t.Error("second StreamTo should fail")
+	}
+}
+
+func TestCloseStreamIdempotentAndDropsLateEvents(t *testing.T) {
+	var buf bytes.Buffer
+	tr, err := NewStreamTracer(func() float64 { return 0 }, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.BeginProcess("p")
+	if err := tr.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	closedLen := buf.Len()
+	tr.Instant(ControlTID, "late", "event", nil) // dropped, not corrupted
+	if err := tr.CloseStream(); err != nil {
+		t.Errorf("second CloseStream: %v", err)
+	}
+	if buf.Len() != closedLen {
+		t.Error("events after CloseStream leaked into the document")
+	}
+	// Buffered tracers ignore CloseStream entirely.
+	if err := NewTracer(func() float64 { return 0 }).CloseStream(); err != nil {
+		t.Errorf("CloseStream on buffered tracer: %v", err)
+	}
+}

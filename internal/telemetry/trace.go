@@ -1,7 +1,9 @@
 package telemetry
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -30,18 +32,135 @@ type Event struct {
 // Tracer accumulates trace events in append order. Because the event loop is
 // deterministic, append order is deterministic, and Export writes events
 // verbatim — no sorting, no wall-clock.
+//
+// Two backends share the type: the default buffered backend keeps events in
+// memory until Export, and the streaming backend (StreamTo) encodes each
+// event to an io.Writer the moment it is recorded, so paper-scale sweeps
+// hold O(1) events in RAM. Both backends produce byte-identical documents
+// for the same event sequence.
 type Tracer struct {
 	clock  func() float64
 	pid    int // current process id; 0 until the first BeginProcess
+	count  int // events recorded across both backends
 	events []Event
+	stream *traceStream // nil on the buffered backend
 }
 
-// NewTracer returns a tracer reading sim-time (seconds) from clock.
+// NewTracer returns a buffered tracer reading sim-time (seconds) from clock.
 func NewTracer(clock func() float64) *Tracer {
 	return &Tracer{clock: clock}
 }
 
+// NewStreamTracer returns a tracer that streams every event to w as it is
+// recorded (the StreamTracer backend). Call CloseStream when the run is over
+// to complete the JSON document.
+func NewStreamTracer(clock func() float64, w io.Writer) (*Tracer, error) {
+	t := NewTracer(clock)
+	if err := t.StreamTo(w); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
 func usec(seconds float64) float64 { return seconds * 1e6 }
+
+// traceStream is the incremental on-disk backend: a buffered writer plus the
+// running element count (for comma placement) and the first write error.
+type traceStream struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// errStreamClosed poisons a stream after CloseStream so late events are
+// dropped instead of corrupting the finished document.
+var errStreamClosed = errors.New("telemetry: trace stream closed")
+
+func (s *traceStream) write(ev Event) {
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if s.n > 0 {
+		if err := s.w.WriteByte(','); err != nil {
+			s.err = err
+			return
+		}
+	}
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return
+	}
+	s.n++
+}
+
+// StreamTo switches the tracer to the streaming backend: the document prefix
+// and any already-buffered events are written to w immediately, the buffer is
+// released, and every subsequent event is encoded straight through. The
+// output becomes a complete JSON document only after CloseStream writes the
+// suffix; Export is unavailable while streaming. The streamed bytes equal a
+// buffered Export of the same events byte-for-byte.
+func (t *Tracer) StreamTo(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	if t.stream != nil {
+		return errors.New("telemetry: tracer already streaming")
+	}
+	s := &traceStream{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := s.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	for _, ev := range t.events {
+		s.write(ev)
+	}
+	if s.err != nil {
+		return s.err
+	}
+	t.events = nil
+	t.stream = s
+	return nil
+}
+
+// Streaming reports whether the tracer is on the streaming backend.
+func (t *Tracer) Streaming() bool { return t != nil && t.stream != nil }
+
+// CloseStream completes the streamed JSON document (suffix + flush) and
+// returns the first error encountered anywhere in the stream's lifetime.
+// Events recorded after CloseStream are dropped. No-op on buffered tracers.
+func (t *Tracer) CloseStream() error {
+	if t == nil || t.stream == nil {
+		return nil
+	}
+	s := t.stream
+	if s.err == errStreamClosed {
+		return nil
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if _, err := s.w.WriteString("]}\n"); err != nil {
+		s.err = errStreamClosed
+		return err
+	}
+	err := s.w.Flush()
+	s.err = errStreamClosed
+	return err
+}
+
+// emit records one event on whichever backend is active.
+func (t *Tracer) emit(ev Event) {
+	t.count++
+	if t.stream != nil {
+		t.stream.write(ev)
+		return
+	}
+	t.events = append(t.events, ev)
+}
 
 // BeginProcess starts a new trace process (one per serving run) and emits its
 // process_name metadata. Subsequent events carry the new pid.
@@ -50,7 +169,7 @@ func (t *Tracer) BeginProcess(name string) int {
 		return 0
 	}
 	t.pid++
-	t.events = append(t.events, Event{
+	t.emit(Event{
 		Name: "process_name", Ph: "M", Pid: t.pid, Tid: ControlTID,
 		Args: map[string]any{"name": name},
 	})
@@ -62,7 +181,7 @@ func (t *Tracer) ThreadName(tid int, name string) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.emit(Event{
 		Name: "thread_name", Ph: "M", Pid: t.pid, Tid: tid,
 		Args: map[string]any{"name": name},
 	})
@@ -79,7 +198,7 @@ func (t *Tracer) Complete(tid int, cat, name string, start, end float64, args ma
 		end = start
 	}
 	dur := usec(end - start)
-	t.events = append(t.events, Event{
+	t.emit(Event{
 		Name: name, Cat: cat, Ph: "X", Ts: usec(start), Dur: &dur,
 		Pid: t.pid, Tid: tid, Args: args,
 	})
@@ -98,7 +217,7 @@ func (t *Tracer) InstantAt(at float64, tid int, cat, name string, args map[strin
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.emit(Event{
 		Name: name, Cat: cat, Ph: "i", Ts: usec(at), Pid: t.pid, Tid: tid,
 		Scope: "t", Args: args,
 	})
@@ -110,7 +229,7 @@ func (t *Tracer) AsyncBegin(cat, name string, id int64, args map[string]any) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.emit(Event{
 		Name: name, Cat: cat, Ph: "b", Ts: usec(t.clock()), Pid: t.pid,
 		Tid: ControlTID, ID: fmt.Sprintf("0x%x", id), Args: args,
 	})
@@ -121,21 +240,23 @@ func (t *Tracer) AsyncEnd(cat, name string, id int64) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.emit(Event{
 		Name: name, Cat: cat, Ph: "e", Ts: usec(t.clock()), Pid: t.pid,
 		Tid: ControlTID, ID: fmt.Sprintf("0x%x", id),
 	})
 }
 
-// Len returns the number of recorded events (0 on the nil tracer).
+// Len returns the number of recorded events (0 on the nil tracer). It counts
+// across both backends, including events already spilled to disk.
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
-	return len(t.events)
+	return t.count
 }
 
-// Events returns the recorded events (for tests).
+// Events returns the recorded events (for tests). It is nil on the streaming
+// backend, which does not retain events.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
@@ -149,6 +270,9 @@ func (t *Tracer) Events() []Event {
 func (t *Tracer) Export(w io.Writer) error {
 	if t == nil {
 		return nil
+	}
+	if t.stream != nil {
+		return errors.New("telemetry: tracer is streaming; the trace is already on its writer")
 	}
 	doc := struct {
 		DisplayTimeUnit string  `json:"displayTimeUnit"`

@@ -39,4 +39,10 @@ test -s "$ART/metrics.prom"
 grep -q '^serving_requests_completed_total' "$ART/metrics.prom"
 echo "telemetry artifacts: $ART"
 
+# Golden-metrics gate: the pinned seed matrix must reproduce the checked-in
+# expositions byte for byte. On drift the per-case diffs land in the
+# artifact dir for upload.
+echo "== golden metrics"
+GOLDEN_DIFF_DIR="$ART/golden-diff" scripts/golden.sh check
+
 echo "CI OK"

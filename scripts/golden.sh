@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Golden-metrics regression gate.
+#
+# Same-seed runs export byte-identical Prometheus metrics, so CI can diff the
+# exposition against checked-in goldens and fail on ANY behavioural drift —
+# scheme-pick counts, link busy-seconds, TTFT histogram buckets — a far
+# sharper signal than test pass/fail.
+#
+#   scripts/golden.sh check    # run the pinned matrix, diff against goldens
+#   scripts/golden.sh regen    # refresh testdata/golden/ after an
+#                              # INTENTIONAL behaviour change (review the diff!)
+#
+# Normalization: metrics.prom lines are sorted (LC_ALL=C) so the comparison
+# is insensitive to family ordering; values are already timestamp-free
+# (sim-time only). On check failure the per-case diffs are also written to
+# $GOLDEN_DIFF_DIR (if set) for CI artifact upload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN_DIR=testdata/golden
+OUT_DIR="${GOLDEN_OUT_DIR:-$(mktemp -d)}"
+mode="${1:-}"
+if [[ "$mode" != "check" && "$mode" != "regen" ]]; then
+	echo "usage: scripts/golden.sh check|regen" >&2
+	exit 2
+fi
+
+BIN="$OUT_DIR/bin"
+mkdir -p "$BIN"
+go build -o "$BIN/tracegen" ./cmd/tracegen
+go build -o "$BIN/serve" ./cmd/serve
+
+# The pinned matrix: name | tracegen args | serve args. Kept CI-cheap
+# (testbed, opt-13b) while covering three systems, two workload kinds, and
+# background elephant traffic.
+cases() {
+	echo 'heroserve-testbed-chatbot|-kind chatbot -n 40 -rate 4 -seed 7|-system heroserve -topology testbed -model opt-13b -seed 7'
+	echo 'distserve-testbed-chatbot|-kind chatbot -n 40 -rate 4 -seed 7|-system distserve -topology testbed -model opt-13b -seed 7'
+	# Summarization needs the paper's long-context settings (TTFT 25 s,
+	# batch Q=1) to be plannable on the testbed.
+	echo 'ds-switchml-testbed-summarization|-kind summarization -n 16 -rate 0.2 -seed 11|-system ds-switchml -topology testbed -model opt-13b -seed 11 -elephants 2 -ttft 25 -tpot 0.2 -batch 1'
+}
+
+# produce NAME TRACEGEN_ARGS SERVE_ARGS: run the case, normalize the
+# exposition into $OUT_DIR/NAME.prom.
+produce() {
+	local name=$1 tg=$2 sv=$3
+	# shellcheck disable=SC2086 # word-splitting of the arg strings is intended
+	"$BIN/tracegen" $tg > "$OUT_DIR/$name.trace.json"
+	# shellcheck disable=SC2086
+	"$BIN/serve" -trace "$OUT_DIR/$name.trace.json" $sv \
+		-metrics-out "$OUT_DIR/$name.raw.prom" > /dev/null
+	LC_ALL=C sort "$OUT_DIR/$name.raw.prom" > "$OUT_DIR/$name.prom"
+}
+
+status=0
+while IFS='|' read -r name tg sv; do
+	produce "$name" "$tg" "$sv"
+	if [[ "$mode" == "regen" ]]; then
+		mkdir -p "$GOLDEN_DIR"
+		cp "$OUT_DIR/$name.prom" "$GOLDEN_DIR/$name.prom"
+		echo "golden: wrote $GOLDEN_DIR/$name.prom"
+		continue
+	fi
+	if [[ ! -f "$GOLDEN_DIR/$name.prom" ]]; then
+		echo "golden: MISSING $GOLDEN_DIR/$name.prom (run scripts/golden.sh regen)" >&2
+		status=1
+		continue
+	fi
+	if ! diff -u "$GOLDEN_DIR/$name.prom" "$OUT_DIR/$name.prom" > "$OUT_DIR/$name.diff"; then
+		echo "golden: DRIFT in $name:" >&2
+		cat "$OUT_DIR/$name.diff" >&2
+		if [[ -n "${GOLDEN_DIFF_DIR:-}" ]]; then
+			mkdir -p "$GOLDEN_DIFF_DIR"
+			cp "$OUT_DIR/$name.diff" "$GOLDEN_DIFF_DIR/$name.diff"
+		fi
+		status=1
+	else
+		echo "golden: ok $name"
+	fi
+done < <(cases)
+
+if [[ "$mode" == "check" && $status -ne 0 ]]; then
+	echo "golden: metrics drifted from testdata/golden/." >&2
+	echo "golden: if the change is intentional, run scripts/golden.sh regen and commit the result." >&2
+fi
+exit $status
