@@ -59,7 +59,7 @@ var registry = []struct {
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (or 'all')")
-	format := flag.String("format", "text", "output format: text | csv")
+	format := flag.String("format", "text", "output format: text | csv | json")
 	scaleFlag := flag.String("scale", "quick", "sweep sizing: quick | full")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	list := flag.Bool("list", false, "list experiment ids")
@@ -85,9 +85,9 @@ func main() {
 		os.Exit(2)
 	}
 	switch *format {
-	case "text", "csv":
+	case "text", "csv", "json":
 	default:
-		fmt.Fprintf(os.Stderr, "heroserve: unknown format %q (text|csv)\n", *format)
+		fmt.Fprintf(os.Stderr, "heroserve: unknown format %q (text|csv|json)\n", *format)
 		os.Exit(2)
 	}
 	if *exp == "" {
@@ -190,6 +190,11 @@ func main() {
 		case "csv":
 			if err := rep.FprintCSV(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "heroserve: csv: %v\n", err)
+				os.Exit(1)
+			}
+		case "json":
+			if err := rep.FprintJSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "heroserve: json: %v\n", err)
 				os.Exit(1)
 			}
 		}

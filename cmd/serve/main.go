@@ -62,6 +62,7 @@ func main() {
 	minTens := flag.Int("min-tens-decode", 0, "decode tensor-parallel floor (cross-server regime)")
 	elephants := flag.Int("elephants", 0, "background elephant-flow lanes")
 	autoscale := flag.Bool("autoscale", false, "enable decode-instance autoscaling")
+	scalePolicy := flag.String("scale-policy", "backlog", "autoscaler policy: backlog | occupancy | kv-headroom | hybrid-slo")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	traceOut := flag.String("trace-out", "", "stream Chrome trace-event JSON (Perfetto-loadable) here")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics here")
@@ -87,6 +88,9 @@ func main() {
 	}
 	if *daemon && *publishEvery <= 0 {
 		fatalf("-publish-every must be positive")
+	}
+	if _, perr := serving.NewScalePolicy(*scalePolicy); perr != nil {
+		fatalf("%v", perr)
 	}
 	if *tracePath == "" {
 		fatalf("-trace required (use cmd/tracegen to produce one)")
@@ -181,8 +185,8 @@ func main() {
 
 	for _, name := range sysNames {
 		runSystem(name, in, trace, hub, srv, runParams{
-			sla: sla, autoscale: *autoscale, elephants: *elephants,
-			seed: *seed, publishEvery: *publishEvery,
+			sla: sla, autoscale: *autoscale, scalePolicy: *scalePolicy,
+			elephants: *elephants, seed: *seed, publishEvery: *publishEvery,
 		})
 	}
 
@@ -214,6 +218,7 @@ func main() {
 type runParams struct {
 	sla          serving.SLA
 	autoscale    bool
+	scalePolicy  string
 	elephants    int
 	seed         int64
 	publishEvery float64
@@ -225,7 +230,12 @@ type runParams struct {
 func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telemetry.Hub, srv *telemetry.Server, p runParams) {
 	opts := serving.Options{}
 	if p.autoscale {
-		opts.Autoscale = &serving.AutoscaleConfig{InitialActive: 1}
+		// Policies are stateful; build a fresh one per system run.
+		pol, err := serving.NewScalePolicy(p.scalePolicy)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Autoscale = &serving.AutoscaleConfig{InitialActive: 1, Policy: pol}
 	}
 	if hub != nil {
 		opts.Telemetry = hub

@@ -4,12 +4,9 @@ import (
 	"fmt"
 
 	"heroserve/internal/collective"
-	"heroserve/internal/model"
 	"heroserve/internal/netsim"
-	"heroserve/internal/serving"
 	"heroserve/internal/sim"
 	"heroserve/internal/topology"
-	"heroserve/internal/workload"
 )
 
 // ExtPCIe validates the paper's first future-work item (§VII): on PCIe-only
@@ -72,116 +69,6 @@ func ExtPCIe(_ Scale, _ int64) (*Report, error) {
 	return r, nil
 }
 
-// ExtScaleResult captures one autoscaling run.
-type ExtScaleResult struct {
-	Mode             string
-	Attainment       float64
-	MeanTTFT         float64
-	ActiveGPUSeconds float64
-	ScaleEvents      int
-}
-
-// ExtScaleData validates the second future-work item: rapid scaling in/out.
-// A bursty OPT-13B workload runs on a testbed with three decode instances
-// under three regimes — static minimal (1 instance), static full (3
-// instances), and autoscaled (1 + reserves).
-func ExtScaleData(scale Scale, seed int64) ([]ExtScaleResult, error) {
-	n := 80
-	if scale == Full {
-		n = 200
-	}
-	mkTrace := func() *workload.Trace {
-		tr := &workload.Trace{Name: "burst"}
-		// A hard burst: ~20 req/s against a single-instance decode capacity
-		// of ~3 req/s, so the static-minimal regime visibly violates the
-		// SLA while reserves absorb it.
-		gen := workload.NewGenerator(workload.Chatbot, seed).Generate(n, 20)
-		tr.Requests = gen.Requests
-		// Quiet tail stragglers exercising scale-in.
-		last := gen.Duration()
-		for i := 0; i < 4; i++ {
-			tr.Requests = append(tr.Requests, workload.Request{
-				ID: n + i, Arrival: last + 60 + 15*float64(i), Input: 200, Output: 60,
-			})
-		}
-		return tr
-	}
-	deployment := func(g *topology.Graph, decodes int) (serving.Deployment, error) {
-		sw := g.Switches()[0]
-		pre, err := serving.NewInstanceSpec(serving.RolePrefill, g.ServerGPUs(0), 4, 1, sw, collective.SchemeRing)
-		if err != nil {
-			return serving.Deployment{}, err
-		}
-		var dec []serving.InstanceSpec
-		for s := 1; s <= decodes; s++ {
-			di, err := serving.NewInstanceSpec(serving.RoleDecode, g.ServerGPUs(s), 4, 1, sw, collective.SchemeRing)
-			if err != nil {
-				return serving.Deployment{}, err
-			}
-			dec = append(dec, di)
-		}
-		return serving.Deployment{Model: model.OPT13B(), Prefill: []serving.InstanceSpec{pre}, Decode: dec}, nil
-	}
-
-	sla := serving.SLA{TTFT: 2.5, TPOT: 0.15}
-	run := func(mode string, decodes int, auto *serving.AutoscaleConfig) (ExtScaleResult, error) {
-		g := topology.Testbed()
-		dep, err := deployment(g, decodes)
-		if err != nil {
-			return ExtScaleResult{}, err
-		}
-		sys, err := serving.New(g, dep, serving.Options{MaxDecodeBatch: 8, Autoscale: auto})
-		if err != nil {
-			return ExtScaleResult{}, err
-		}
-		res := sys.Run(mkTrace())
-		var sumTTFT float64
-		for _, m := range res.Requests {
-			sumTTFT += m.TTFT
-		}
-		return ExtScaleResult{
-			Mode:             mode,
-			Attainment:       res.Attainment(sla),
-			MeanTTFT:         sumTTFT / float64(len(res.Requests)),
-			ActiveGPUSeconds: res.ActiveGPUSeconds,
-			ScaleEvents:      len(res.ScaleEvents),
-		}, nil
-	}
-
-	var out []ExtScaleResult
-	static1, err := run("static-1", 1, nil)
-	if err != nil {
-		return nil, err
-	}
-	static3, err := run("static-3", 3, nil)
-	if err != nil {
-		return nil, err
-	}
-	auto, err := run("autoscaled", 3, &serving.AutoscaleConfig{
-		InitialActive:   1,
-		ScaleOutBacklog: 1,
-		ScaleInIdle:     10,
-		Interval:        0.5,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, static1, static3, auto)
-	return out, nil
-}
-
-// ExtScale renders the autoscaling comparison.
-func ExtScale(scale Scale, seed int64) (*Report, error) {
-	data, err := ExtScaleData(scale, seed)
-	if err != nil {
-		return nil, err
-	}
-	r := &Report{Name: "Extension §VII-b — rapid scaling in/out of decode instances"}
-	t := r.AddTable("bursty chatbot on OPT-13B (burst then quiet tail)",
-		"mode", "SLA attainment", "mean TTFT (s)", "decode GPU-seconds", "scale events")
-	for _, d := range data {
-		t.AddRow(d.Mode, fmtPct(d.Attainment), fmtF(d.MeanTTFT), fmtF(d.ActiveGPUSeconds), fmt.Sprintf("%d", d.ScaleEvents))
-	}
-	r.AddNote("the autoscaler should approach static-3's attainment at a fraction of its decode GPU-seconds (§VII: \"rapid scaling in and out to achieve finer-grained scheduling of computational resources\")")
-	return r, nil
-}
+// The ext-scale experiment (the §VII-b scaling study) lives in scalestudy.go:
+// it sweeps pluggable ScalePolicy implementations across workloads and scores
+// them off the telemetry registry.

@@ -20,41 +20,6 @@ func TestExtPCIeShape(t *testing.T) {
 	}
 }
 
-func TestExtScaleShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("serving runs under -short")
-	}
-	t.Parallel()
-	data, err := ExtScaleData(Quick, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(data) != 3 {
-		t.Fatalf("modes = %d", len(data))
-	}
-	byMode := map[string]ExtScaleResult{}
-	for _, d := range data {
-		byMode[d.Mode] = d
-	}
-	s1, s3, auto := byMode["static-1"], byMode["static-3"], byMode["autoscaled"]
-	// The burst must hurt the static-minimal deployment.
-	if s1.Attainment >= s3.Attainment {
-		t.Errorf("static-1 attainment %.2f not below static-3 %.2f (burst too weak)", s1.Attainment, s3.Attainment)
-	}
-	// The autoscaler approaches full-fleet attainment...
-	if auto.Attainment < s3.Attainment-0.05 {
-		t.Errorf("autoscaled attainment %.2f well below static-3 %.2f", auto.Attainment, s3.Attainment)
-	}
-	// ...at well below full-fleet cost.
-	if auto.ActiveGPUSeconds >= s3.ActiveGPUSeconds*0.8 {
-		t.Errorf("autoscaled GPU-seconds %.0f not clearly below static-3 %.0f",
-			auto.ActiveGPUSeconds, s3.ActiveGPUSeconds)
-	}
-	if auto.ScaleEvents == 0 {
-		t.Error("autoscaler never acted")
-	}
-}
-
 func TestAblationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("serving runs under -short")

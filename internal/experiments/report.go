@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -17,9 +18,9 @@ import (
 
 // Table is a printable result table (one per figure panel).
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 }
 
 // AddRow appends a formatted row.
@@ -83,9 +84,9 @@ func (t *Table) FprintCSV(w io.Writer) error {
 
 // Report is one experiment's output.
 type Report struct {
-	Name   string
-	Tables []*Table
-	Notes  []string
+	Name   string   `json:"name"`
+	Tables []*Table `json:"tables"`
+	Notes  []string `json:"notes,omitempty"`
 }
 
 // AddTable appends and returns a new table.
@@ -127,6 +128,15 @@ func (r *Report) FprintCSV(w io.Writer) error {
 		fmt.Fprintf(w, "# note: %s\n", n)
 	}
 	return nil
+}
+
+// FprintJSON renders the report as indented JSON (object keys in struct
+// order, rows as string arrays) for machine consumption. Output is
+// deterministic: it serializes exactly the same cells as the text renderer.
+func (r *Report) FprintJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // Scale controls experiment sizing: Quick keeps every run in test/bench

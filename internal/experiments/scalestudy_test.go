@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"heroserve/internal/serving"
+)
+
+func TestScaleStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving runs under -short")
+	}
+	t.Parallel()
+	rows, err := ScaleStudyData(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := []string{"chatbot", "summarization", "bursty"}
+	perWorkload := 1 + len(serving.ScalePolicyNames)
+	if len(rows) != len(workloads)*perWorkload {
+		t.Fatalf("rows = %d, want %d", len(rows), len(workloads)*perWorkload)
+	}
+	var anyEvents bool
+	for wi, w := range workloads {
+		group := rows[wi*perWorkload : (wi+1)*perWorkload]
+		static := group[0]
+		if static.Workload != w || static.Policy != "static-full" || static.Rank != 0 {
+			t.Fatalf("%s: static row misplaced: %+v", w, static)
+		}
+		seen := map[string]bool{}
+		for i, row := range group[1:] {
+			if row.Workload != w {
+				t.Errorf("row %d workload = %s, want %s", i, row.Workload, w)
+			}
+			if row.Rank != i+1 {
+				t.Errorf("%s/%s rank = %d, want %d", w, row.Policy, row.Rank, i+1)
+			}
+			seen[row.Policy] = true
+			// The ranking invariant: attainment desc, GPU-seconds asc tiebreak.
+			if i > 0 {
+				prev := group[i]
+				if row.Attainment > prev.Attainment {
+					t.Errorf("%s: rank %d attainment %.3f above rank %d %.3f",
+						w, row.Rank, row.Attainment, prev.Rank, prev.Attainment)
+				}
+				if row.Attainment == prev.Attainment && row.GPUSeconds < prev.GPUSeconds {
+					t.Errorf("%s: rank %d GPU-seconds %.1f below rank %d %.1f at equal attainment",
+						w, row.Rank, row.GPUSeconds, prev.Rank, prev.GPUSeconds)
+				}
+			}
+			// Every autoscaled policy must beat the always-on fleet on cost.
+			if row.GPUSeconds >= static.GPUSeconds {
+				t.Errorf("%s/%s GPU-seconds %.1f not below static-full %.1f",
+					w, row.Policy, row.GPUSeconds, static.GPUSeconds)
+			}
+			if row.Served != static.Served {
+				t.Errorf("%s/%s served %d != static %d", w, row.Policy, row.Served, static.Served)
+			}
+			if row.ScaleEvents > 0 {
+				anyEvents = true
+			}
+		}
+		for _, name := range serving.ScalePolicyNames {
+			if !seen[name] {
+				t.Errorf("%s: policy %s missing from scoreboard", w, name)
+			}
+		}
+		// The chatbot burst overwhelms a single instance: the winning policy
+		// can only match the full fleet's attainment by actually scaling out.
+		if w == "chatbot" {
+			best := group[1]
+			if static.Attainment < 0.99 {
+				t.Errorf("chatbot static-full attainment %.3f, want ~1", static.Attainment)
+			}
+			if best.Attainment < 0.99 {
+				t.Errorf("chatbot best policy %s attainment %.3f, want ~1", best.Policy, best.Attainment)
+			}
+			if best.ScaleEvents == 0 {
+				t.Errorf("chatbot best policy %s matched the SLA without scaling", best.Policy)
+			}
+		}
+	}
+	if !anyEvents {
+		t.Error("no policy produced a single scale event anywhere")
+	}
+}
+
+// TestExtScaleDeterminism renders the full scoreboard twice with the same
+// seed and demands byte-identical CSV and JSON output: the study is scored
+// off per-run telemetry registries, so any nondeterminism there shows up
+// here.
+func TestExtScaleDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving runs under -short")
+	}
+	t.Parallel()
+	render := func() (csv, json []byte) {
+		rep, err := ExtScale(Quick, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c, j bytes.Buffer
+		if err := rep.FprintCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.FprintJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		return c.Bytes(), j.Bytes()
+	}
+	c1, j1 := render()
+	c2, j2 := render()
+	if !bytes.Equal(c1, c2) {
+		t.Errorf("same-seed CSV differs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", c1, c2)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("same-seed JSON differs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", j1, j2)
+	}
+}

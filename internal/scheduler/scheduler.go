@@ -367,9 +367,10 @@ func (c *Controller) Tick() {
 }
 
 // Start schedules the periodic refresh on the network's event engine. The
-// loop reschedules itself only while flows or future events exist, so it
-// does not keep an otherwise-finished simulation alive forever; call Tick
-// manually for one-shot refreshes.
+// refresh rides daemon events and reschedules itself only while flows or
+// real (non-daemon) work exist, so it neither keeps an otherwise-finished
+// simulation alive nor ping-pongs forever with another periodic controller
+// such as the serving autoscaler; call Tick manually for one-shot refreshes.
 func (c *Controller) Start() {
 	if c.running {
 		return
@@ -379,11 +380,11 @@ func (c *Controller) Start() {
 	var loop func()
 	loop = func() {
 		c.Tick()
-		if c.net.ActiveFlows() > 0 || eng.Pending() > 0 {
-			eng.After(c.interval, loop)
+		if c.net.ActiveFlows() > 0 || eng.PendingWork() > 0 {
+			eng.AfterDaemon(c.interval, loop)
 		} else {
 			c.running = false
 		}
 	}
-	eng.After(c.interval, loop)
+	eng.AfterDaemon(c.interval, loop)
 }

@@ -2,30 +2,49 @@ package serving
 
 import (
 	"fmt"
+	"math"
 
 	"heroserve/internal/sim"
+	"heroserve/internal/stats"
+	"heroserve/internal/telemetry"
 )
 
 // AutoscaleConfig enables the §VII future-work mechanism: "rapid scaling in
 // and out to achieve finer-grained scheduling of computational resources".
 // Decode instances beyond InitialActive start as deactivated reserves; a
-// control loop watches the decode backlog, activates reserves under
-// pressure (paying a weight-loading delay), and deactivates instances that
-// stay idle.
+// control loop samples the fleet's signals (backlog, occupancy, KV pressure,
+// recent latencies) once per Interval and hands them to a pluggable
+// ScalePolicy, which decides scale-out/in/hold. The autoscaler applies the
+// decision mechanically: scale-out activates one reserve (paying a
+// weight-loading delay), scale-in deactivates the longest-idle empty
+// instance, never below MinActive truly-active instances.
 type AutoscaleConfig struct {
 	// InitialActive decode instances start active; the rest are reserves.
 	// Values <= 0 or beyond the instance count activate everything.
 	InitialActive int
-	// MinActive floors scale-in (default 1).
+	// MinActive floors scale-in (default 1; clamped to the fleet size).
 	MinActive int
 	// Interval is the control-loop period in simulated seconds (default 1).
 	Interval float64
-	// ScaleOutBacklog triggers activation when the pending (not yet
-	// admitted) requests per active instance exceed it (default 2).
+	// Policy decides scale-out/in/hold each step. Nil selects the classic
+	// backlog law parameterized by ScaleOutBacklog/ScaleInIdle below.
+	// Policies may be stateful: supply a fresh value per run.
+	Policy ScalePolicy
+	// ScaleOutBacklog parameterizes the default BacklogPolicy: activation
+	// triggers when pending requests per committed instance exceed it
+	// (default 2). Ignored when Policy is non-nil.
 	ScaleOutBacklog float64
-	// ScaleInIdle deactivates an instance idle for this many consecutive
-	// simulated seconds (default 30).
+	// ScaleInIdle parameterizes the default BacklogPolicy: an instance idle
+	// for this many consecutive simulated seconds may deactivate
+	// (default 30). Ignored when Policy is non-nil.
 	ScaleInIdle float64
+	// SignalWindow is the time constant, in simulated seconds, of the
+	// exponential smoothing applied to the occupancy and KV-utilization
+	// signals (default 15).
+	SignalWindow float64
+	// LatencyWindow sizes the sliding window of recently completed requests
+	// backing the TTFT/TPOT signals (default 32).
+	LatencyWindow int
 	// WeightLoadBW is the per-GPU weight-loading bandwidth on activation,
 	// bytes/second (default 20 GB/s: host-memory/NVMe staging into HBM).
 	WeightLoadBW float64
@@ -38,11 +57,14 @@ func (c *AutoscaleConfig) setDefaults() {
 	if c.Interval <= 0 {
 		c.Interval = 1
 	}
-	if c.ScaleOutBacklog <= 0 {
-		c.ScaleOutBacklog = 2
+	if c.Policy == nil {
+		c.Policy = NewBacklogPolicy(c.ScaleOutBacklog, c.ScaleInIdle)
 	}
-	if c.ScaleInIdle <= 0 {
-		c.ScaleInIdle = 30
+	if c.SignalWindow <= 0 {
+		c.SignalWindow = 15
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 32
 	}
 	if c.WeightLoadBW <= 0 {
 		c.WeightLoadBW = 20e9
@@ -50,6 +72,12 @@ func (c *AutoscaleConfig) setDefaults() {
 }
 
 // ScaleEvent records one autoscaler transition.
+//
+// Active is the number of committed instances — truly active plus activating
+// (weights loading) — after the transition takes effect, consistently across
+// all three actions: "activate" counts the newly committed instance,
+// "ready" keeps the count (the instance moves from activating to active),
+// "deactivate" drops it.
 type ScaleEvent struct {
 	T      sim.Time
 	Active int
@@ -57,103 +85,241 @@ type ScaleEvent struct {
 	ID     int    // decode instance id
 }
 
+// expAvg is a deterministic exponential time-average: each observation pulls
+// the value toward the sample with weight 1-exp(-dt/window).
+type expAvg struct {
+	v      float64
+	primed bool
+}
+
+func (e *expAvg) observe(v, dt, window float64) {
+	if !e.primed {
+		e.v, e.primed = v, true
+		return
+	}
+	e.v += (1 - math.Exp(-dt/window)) * (v - e.v)
+}
+
 // autoscaler is the runtime control loop.
 type autoscaler struct {
-	sys *System
-	cfg AutoscaleConfig
+	sys       *System
+	cfg       AutoscaleConfig
+	minActive int // effective floor: cfg.MinActive clamped to the fleet
 
 	events []ScaleEvent
 	// accounting for active GPU-seconds
 	lastT      sim.Time
 	activeGPUs int
 	gpuSeconds float64
+
+	// policy signal state
+	lastStep    sim.Time
+	occ, kv     expAvg
+	ttftWin     *stats.Window
+	tpotWin     *stats.Window
+	metricsSeen int
+
+	// telemetry (nil handles when off)
+	telActive    *telemetry.Gauge
+	telDecisions map[ScaleDecision]*telemetry.Counter
 }
 
-// startAutoscaler wires the config into the system: deactivates reserves and
-// schedules the control loop.
+// startAutoscaler wires the config into the system: deactivates reserves,
+// stamps initial idle state, and schedules the control loop.
 func (s *System) startAutoscaler(cfg AutoscaleConfig) {
 	cfg.setDefaults()
 	a := &autoscaler{sys: s, cfg: cfg}
 	s.scaler = a
+	a.minActive = cfg.MinActive
+	if a.minActive > len(s.decode) {
+		a.minActive = len(s.decode)
+	}
 	initial := cfg.InitialActive
 	if initial <= 0 || initial > len(s.decode) {
 		initial = len(s.decode)
 	}
-	if initial < cfg.MinActive {
-		initial = cfg.MinActive
+	if initial < a.minActive {
+		// a.minActive is already clamped to the fleet, so this can never
+		// push initial past len(s.decode).
+		initial = a.minActive
 	}
+	now := s.eng.Now()
 	for i, di := range s.decode {
 		di.active = i < initial
-		di.idleSince = 0
+		// Active instances start idle (nothing is running yet) with the
+		// idle spell beginning now — sim time starts at 0, so idleness
+		// must be an explicit flag, not a zero-timestamp sentinel.
+		di.idle = di.active
+		di.idleSince = now
 		if di.active {
 			a.activeGPUs += len(di.spec.GPUs())
 		}
 	}
-	a.lastT = s.eng.Now()
+	a.ttftWin = stats.NewWindow(cfg.LatencyWindow)
+	a.tpotWin = stats.NewWindow(cfg.LatencyWindow)
+	if s.tel != nil {
+		a.telActive = s.tel.Metrics.Gauge("decode_active_instances",
+			"Decode instances committed by the autoscaler (active + activating).", nil)
+		a.telActive.Set(float64(a.countCommitted()))
+		a.telDecisions = make(map[ScaleDecision]*telemetry.Counter)
+		for _, d := range []ScaleDecision{ScaleHold, ScaleOut, ScaleIn} {
+			a.telDecisions[d] = s.tel.Metrics.Counter("autoscale_decisions_total",
+				"Scale-policy decisions by verdict, one per control step.",
+				[]string{"decision"}, d.String())
+		}
+	}
+	a.lastT = now
+	a.lastStep = now
 	a.loop()
 }
 
 // charge accrues active GPU-seconds up to now.
 func (a *autoscaler) charge() {
 	now := a.sys.eng.Now()
-	a.gpuSeconds += float64(a.activeGPUs) * (now - a.lastT)
+	delta := float64(a.activeGPUs) * (now - a.lastT)
+	a.gpuSeconds += delta
+	a.sys.telGPUSeconds.Add(delta)
 	a.lastT = now
 }
 
-// loop is the periodic control step.
+// loop is the periodic control step. It rides daemon events and reschedules
+// only while real work is queued, so the control loop never keeps a finished
+// simulation alive (and cannot ping-pong forever with another periodic
+// controller, each treating the other's tick as pending work).
 func (a *autoscaler) loop() {
 	a.step()
-	if a.sys.eng.Pending() > 0 {
-		a.sys.eng.After(a.cfg.Interval, a.loop)
+	if a.sys.eng.PendingWork() > 0 {
+		a.sys.eng.AfterDaemon(a.cfg.Interval, a.loop)
 	}
 }
 
-// step applies the scale-out/scale-in rules once.
+// step samples the fleet's signals, asks the policy for a decision, and
+// applies it.
 func (a *autoscaler) step() {
-	s := a.sys
-	now := s.eng.Now()
-
-	active := 0
-	pendingTotal := 0
-	for _, di := range s.decode {
-		if di.active || di.activating {
-			active++
-		}
-		pendingTotal += len(di.pending)
-	}
-
-	// Scale out: backlog per active instance too high and a reserve exists.
-	if active > 0 && float64(pendingTotal)/float64(active) > a.cfg.ScaleOutBacklog {
-		for _, di := range s.decode {
-			if di.active || di.activating {
-				continue
-			}
+	now := a.sys.eng.Now()
+	sig := a.collect(now)
+	dec := a.cfg.Policy.Decide(sig)
+	a.telDecisions[dec].Inc()
+	switch dec {
+	case ScaleOut:
+		if di := a.firstReserve(); di != nil {
 			a.activate(di)
-			break
 		}
-	}
-
-	// Scale in: deactivate one instance that has been idle long enough.
-	if active > a.cfg.MinActive {
-		for _, di := range s.decode {
-			if !di.active || di.activating || len(di.running) > 0 || len(di.pending) > 0 || di.inflightKV > 0 {
-				continue
-			}
-			if di.idleSince > 0 && now-di.idleSince >= a.cfg.ScaleInIdle {
+	case ScaleIn:
+		// The floor counts truly-active instances only: an activating
+		// instance serves nothing yet, so deactivating concurrently with a
+		// pending activation must not dip the serving fleet below MinActive.
+		if a.countActive() > a.minActive {
+			if di := a.longestIdle(now); di != nil {
 				a.deactivate(di)
-				break
 			}
 		}
 	}
+	a.refreshIdle(now)
+	a.lastStep = now
+}
 
-	// Refresh idle stamps.
+// collect assembles the policy's signal snapshot at time now.
+func (a *autoscaler) collect(now sim.Time) ScaleSignals {
+	s := a.sys
+	dt := now - a.lastStep
+	active, activating, reserves, backlog := 0, 0, 0, 0
+	running := 0
+	kvSum := 0.0
 	for _, di := range s.decode {
-		if di.active && len(di.running) == 0 && len(di.pending) == 0 && di.inflightKV == 0 {
-			if di.idleSince == 0 {
+		backlog += len(di.pending)
+		switch {
+		case di.activating:
+			activating++
+		case di.active:
+			active++
+			running += len(di.running)
+			if di.kvCap > 0 {
+				kvSum += float64(di.kvUsed) / float64(di.kvCap)
+			}
+		default:
+			reserves++
+		}
+	}
+	if active > 0 {
+		a.occ.observe(float64(running)/float64(active*s.opts.MaxDecodeBatch), dt, a.cfg.SignalWindow)
+		a.kv.observe(kvSum/float64(active), dt, a.cfg.SignalWindow)
+	}
+	for _, m := range s.metrics[a.metricsSeen:] {
+		a.ttftWin.Observe(m.TTFT)
+		if m.TPOT > 0 {
+			a.tpotWin.Observe(m.TPOT)
+		}
+	}
+	a.metricsSeen = len(s.metrics)
+
+	longest := 0.0
+	for _, di := range s.decode {
+		if a.deactivatable(di) && now-di.idleSince > longest {
+			longest = now - di.idleSince
+		}
+	}
+	return ScaleSignals{
+		Now:           now,
+		Backlog:       backlog,
+		Active:        active,
+		Activating:    activating,
+		Reserves:      reserves,
+		MinActive:     a.minActive,
+		MaxBatch:      s.opts.MaxDecodeBatch,
+		Occupancy:     a.occ.v,
+		KVUtilization: a.kv.v,
+		LongestIdle:   longest,
+		TTFT:          a.ttftWin.Mean(),
+		TPOT:          a.tpotWin.Mean(),
+		LatencyPrimed: a.ttftWin.Len() > 0,
+		SLA:           s.opts.SLA,
+	}
+}
+
+// deactivatable reports whether the instance is a scale-in candidate: truly
+// active, fully drained, and marked idle.
+func (a *autoscaler) deactivatable(di *decodeInstance) bool {
+	return di.active && !di.activating && di.idle &&
+		len(di.running) == 0 && len(di.pending) == 0 && di.inflightKV == 0
+}
+
+// firstReserve returns the lowest-id deactivated instance, or nil.
+func (a *autoscaler) firstReserve() *decodeInstance {
+	for _, di := range a.sys.decode {
+		if !di.active && !di.activating {
+			return di
+		}
+	}
+	return nil
+}
+
+// longestIdle returns the deactivation candidate with the longest idle
+// spell (lowest id on ties), or nil.
+func (a *autoscaler) longestIdle(now sim.Time) *decodeInstance {
+	var best *decodeInstance
+	for _, di := range a.sys.decode {
+		if !a.deactivatable(di) {
+			continue
+		}
+		if best == nil || now-di.idleSince > now-best.idleSince {
+			best = di
+		}
+	}
+	return best
+}
+
+// refreshIdle re-stamps each instance's idle state after the step's actions.
+func (a *autoscaler) refreshIdle(now sim.Time) {
+	for _, di := range a.sys.decode {
+		if di.active && !di.activating &&
+			len(di.running) == 0 && len(di.pending) == 0 && di.inflightKV == 0 {
+			if !di.idle {
+				di.idle = true
 				di.idleSince = now
 			}
 		} else {
-			di.idleSince = 0
+			di.idle = false
 		}
 	}
 }
@@ -163,18 +329,17 @@ func (a *autoscaler) step() {
 func (a *autoscaler) activate(di *decodeInstance) {
 	s := a.sys
 	di.activating = true
+	di.idle = false
 	weight := s.dep.Model.WeightBytesPerGPU(di.spec.Ptens(), di.spec.Ppipe())
 	delay := float64(weight) / a.cfg.WeightLoadBW // per-GPU loads run in parallel
-	a.events = append(a.events, ScaleEvent{T: s.eng.Now(), Active: a.countActive(), Action: "activate", ID: di.id})
-	s.scaleInstant(a.events[len(a.events)-1])
+	a.emit(ScaleEvent{T: s.eng.Now(), Active: a.countCommitted(), Action: "activate", ID: di.id})
 	s.eng.After(delay, func() {
 		a.charge()
 		di.activating = false
 		di.active = true
-		di.idleSince = 0
+		di.idle = false
 		a.activeGPUs += len(di.spec.GPUs())
-		a.events = append(a.events, ScaleEvent{T: s.eng.Now(), Active: a.countActive(), Action: "ready", ID: di.id})
-		s.scaleInstant(a.events[len(a.events)-1])
+		a.emit(ScaleEvent{T: s.eng.Now(), Active: a.countCommitted(), Action: "ready", ID: di.id})
 		s.admitDecode(di)
 		s.maybeIterate(di)
 	})
@@ -184,15 +349,35 @@ func (a *autoscaler) activate(di *decodeInstance) {
 func (a *autoscaler) deactivate(di *decodeInstance) {
 	a.charge()
 	di.active = false
+	di.idle = false
 	a.activeGPUs -= len(di.spec.GPUs())
-	a.events = append(a.events, ScaleEvent{T: a.sys.eng.Now(), Active: a.countActive(), Action: "deactivate", ID: di.id})
-	a.sys.scaleInstant(a.events[len(a.events)-1])
+	a.emit(ScaleEvent{T: a.sys.eng.Now(), Active: a.countCommitted(), Action: "deactivate", ID: di.id})
 }
 
+// emit records a transition in the event log and telemetry.
+func (a *autoscaler) emit(ev ScaleEvent) {
+	a.events = append(a.events, ev)
+	a.telActive.Set(float64(ev.Active))
+	a.sys.scaleInstant(ev)
+}
+
+// countActive counts truly-active instances (serving traffic now).
 func (a *autoscaler) countActive() int {
 	n := 0
 	for _, di := range a.sys.decode {
 		if di.active {
+			n++
+		}
+	}
+	return n
+}
+
+// countCommitted counts active plus activating instances — the fleet size
+// the controller has committed to.
+func (a *autoscaler) countCommitted() int {
+	n := 0
+	for _, di := range a.sys.decode {
+		if di.active || di.activating {
 			n++
 		}
 	}
@@ -205,5 +390,6 @@ func (a *autoscaler) finish() {
 }
 
 func (a *autoscaler) String() string {
-	return fmt.Sprintf("autoscaler(%d events, %.0f GPU-seconds)", len(a.events), a.gpuSeconds)
+	return fmt.Sprintf("autoscaler(%s, %d events, %.0f GPU-seconds)",
+		a.cfg.Policy.Name(), len(a.events), a.gpuSeconds)
 }

@@ -1,10 +1,12 @@
 package serving
 
 import (
+	"math"
 	"testing"
 
 	"heroserve/internal/collective"
 	"heroserve/internal/model"
+	"heroserve/internal/telemetry"
 	"heroserve/internal/topology"
 	"heroserve/internal/workload"
 )
@@ -171,4 +173,180 @@ func TestAutoscalerRespectsMinActive(t *testing.T) {
 		t.Errorf("active dropped to %d below MinActive 2", low)
 	}
 	_ = res
+}
+
+// scriptPolicy replays a fixed decision sequence, one per control step, then
+// holds forever. It lets tests force the autoscaler into exact corners.
+type scriptPolicy struct{ decs []ScaleDecision }
+
+func (p *scriptPolicy) Name() string { return "script" }
+
+func (p *scriptPolicy) Decide(ScaleSignals) ScaleDecision {
+	if len(p.decs) == 0 {
+		return ScaleHold
+	}
+	d := p.decs[0]
+	p.decs = p.decs[1:]
+	return d
+}
+
+// TestAutoscalerScaleInFromSimStart is the regression for the zero-timestamp
+// idle sentinel: sim time starts at 0, so an instance idle since t=0 used to
+// look "never idle" and was pinned active forever. Idle-from-start instances
+// must scale in long before the first request arrives.
+func TestAutoscalerScaleInFromSimStart(t *testing.T) {
+	g := topology.Testbed()
+	dep := scaleDeployment(t, g)
+	sys, err := New(g, dep, Options{
+		Autoscale: &AutoscaleConfig{
+			InitialActive: 3,
+			MinActive:     1,
+			ScaleInIdle:   10,
+			Interval:      0.5,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &workload.Trace{Name: "late", Requests: []workload.Request{
+		{ID: 0, Arrival: 50, Input: 128, Output: 40},
+	}}
+	res := sys.Run(tr)
+	if res.Served != 1 {
+		t.Fatalf("served %d/1", res.Served)
+	}
+	var deacts []ScaleEvent
+	for _, e := range res.ScaleEvents {
+		if e.Action == "deactivate" {
+			deacts = append(deacts, e)
+		}
+	}
+	if len(deacts) != 2 {
+		t.Fatalf("deactivations = %d, want 2 (3 idle-from-start instances down to MinActive 1): %+v",
+			len(deacts), res.ScaleEvents)
+	}
+	for _, e := range deacts {
+		if e.T >= 50 {
+			t.Errorf("idle-from-start instance %d deactivated only at %.1f s, after the first arrival", e.ID, e.T)
+		}
+	}
+	// Active is the committed count after the transition: 3 -> 2 -> 1.
+	if deacts[0].Active != 2 || deacts[1].Active != 1 {
+		t.Errorf("deactivate Active counts = %d, %d, want 2, 1", deacts[0].Active, deacts[1].Active)
+	}
+}
+
+// TestAutoscalerMinActiveFloorDuringActivation pins the floor semantics: an
+// activating instance serves nothing yet, so while one is still loading
+// weights a concurrent scale-in must not dip the truly-active fleet below
+// MinActive (the old guard counted activating instances as active).
+func TestAutoscalerMinActiveFloorDuringActivation(t *testing.T) {
+	g := topology.Testbed()
+	dep := scaleDeployment(t, g)
+	pol := &scriptPolicy{decs: []ScaleDecision{
+		ScaleOut, ScaleIn, ScaleIn, ScaleIn, ScaleIn, ScaleIn,
+	}}
+	sys, err := New(g, dep, Options{
+		Autoscale: &AutoscaleConfig{
+			InitialActive: 2,
+			MinActive:     2,
+			Interval:      0.5,
+			Policy:        pol,
+			WeightLoadBW:  2e9, // ~3 s load: the ScaleIn steps land mid-activation
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(&workload.Trace{Name: "late", Requests: []workload.Request{
+		{ID: 0, Arrival: 30, Input: 128, Output: 40},
+	}})
+	ready := false
+	for _, e := range res.ScaleEvents {
+		switch e.Action {
+		case "ready":
+			ready = true
+		case "deactivate":
+			t.Errorf("deactivated instance %d at %.2f s: with 2 truly active and MinActive 2, the in-flight activation must not unlock scale-in", e.ID, e.T)
+		}
+	}
+	if !ready {
+		t.Fatal("the scripted scale-out never became ready")
+	}
+}
+
+// TestAutoscalerMinActiveAboveFleet pins the clamp: a MinActive beyond the
+// fleet size clamps to the fleet and pulls InitialActive up with it, so the
+// whole fleet starts active and nothing ever scales.
+func TestAutoscalerMinActiveAboveFleet(t *testing.T) {
+	g := topology.Testbed()
+	dep := scaleDeployment(t, g)
+	sys, err := New(g, dep, Options{
+		Autoscale: &AutoscaleConfig{
+			InitialActive: 1,
+			MinActive:     5, // fleet is 3
+			ScaleInIdle:   1, // aggressive: the floor alone must hold the fleet
+			Interval:      0.5,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(burstTrace(10))
+	if len(res.ScaleEvents) != 0 {
+		t.Errorf("scale events with MinActive > fleet: %+v", res.ScaleEvents)
+	}
+	want := float64(12) * res.Duration // all 3 instances x 4 GPUs, always on
+	if res.ActiveGPUSeconds != want {
+		t.Errorf("GPU-seconds = %g, want %g", res.ActiveGPUSeconds, want)
+	}
+}
+
+// TestAutoscalerGPUSecondsLedger replays the scale-event log against the
+// GPU-seconds ledger: GPUs accrue from t=0 for initial instances, join at
+// "ready" (a loading instance serves nothing and is not billed), and leave at
+// "deactivate". The telemetry counter must agree with the Results exactly.
+func TestAutoscalerGPUSecondsLedger(t *testing.T) {
+	g := topology.Testbed()
+	dep := scaleDeployment(t, g)
+	hub := telemetry.New()
+	sys, err := New(g, dep, Options{
+		MaxDecodeBatch: 8,
+		Telemetry:      hub,
+		Autoscale: &AutoscaleConfig{
+			InitialActive:   1,
+			ScaleOutBacklog: 1,
+			ScaleInIdle:     10,
+			Interval:        0.5,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(burstTrace(60))
+	var sawReady, sawDeact bool
+	gpus, last, total := 4.0, 0.0, 0.0 // InitialActive 1 x 4 GPUs from t=0
+	for _, e := range res.ScaleEvents {
+		total += gpus * (float64(e.T) - last)
+		last = float64(e.T)
+		switch e.Action {
+		case "ready":
+			gpus += 4
+			sawReady = true
+		case "deactivate":
+			gpus -= 4
+			sawDeact = true
+		}
+	}
+	total += gpus * (res.Duration - last)
+	if !sawReady || !sawDeact {
+		t.Fatalf("run exercised ready=%v deactivate=%v, need both: %+v", sawReady, sawDeact, res.ScaleEvents)
+	}
+	if diff := math.Abs(total - res.ActiveGPUSeconds); diff > 1e-9*total {
+		t.Errorf("event-log ledger %.9f != accounted GPU-seconds %.9f", total, res.ActiveGPUSeconds)
+	}
+	got, ok := hub.Metrics.Value("decode_gpu_seconds_total")
+	if !ok || got != res.ActiveGPUSeconds {
+		t.Errorf("decode_gpu_seconds_total = %v (ok=%v), want exactly %v", got, ok, res.ActiveGPUSeconds)
+	}
 }

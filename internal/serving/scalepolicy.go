@@ -1,0 +1,260 @@
+package serving
+
+import (
+	"fmt"
+
+	"heroserve/internal/sim"
+)
+
+// ScaleSignals is the input snapshot a ScalePolicy sees at each control step.
+// The autoscaler assembles it from the live system state plus short-horizon
+// smoothed telemetry, so policies stay pure decision functions over numbers
+// and never touch simulator internals.
+type ScaleSignals struct {
+	Now sim.Time
+
+	// Backlog counts requests admitted to decode instances but not yet in a
+	// running batch (KV arrived, waiting for batch/KV headroom).
+	Backlog int
+	// Active counts truly-active instances (serving traffic now). Activating
+	// counts committed instances whose weights are still loading; they take
+	// KV routing but run no iterations yet. Reserves counts deactivated
+	// instances available for scale-out.
+	Active     int
+	Activating int
+	Reserves   int
+	// MinActive is the effective scale-in floor (clamped to the fleet size).
+	MinActive int
+	// MaxBatch is the per-instance running-batch cap (Options.MaxDecodeBatch).
+	MaxBatch int
+
+	// Occupancy is the exponentially time-averaged running-batch fill
+	// fraction across truly-active instances, in [0, 1]: mean(len(running))
+	// / MaxBatch smoothed over AutoscaleConfig.SignalWindow seconds.
+	Occupancy float64
+	// KVUtilization is the KV-cache memory utilization across truly-active
+	// instances, smoothed the same way (may exceed 1 under force-admission).
+	KVUtilization float64
+
+	// LongestIdle is the longest continuous idle spell, in seconds, among
+	// instances eligible for deactivation (truly active, empty, no in-flight
+	// KV). Zero when no instance is idle.
+	LongestIdle float64
+
+	// TTFT and TPOT are recent-completion means (sliding window over the
+	// last completed requests). LatencyPrimed reports whether any request
+	// has completed yet; until then both are zero and SLO terms should be
+	// treated as unknown rather than "fast".
+	TTFT, TPOT    float64
+	LatencyPrimed bool
+	// SLA is the run's latency agreement (nil when the run has none).
+	SLA *SLA
+}
+
+// backlogPerInstance returns the pending-request pressure normalized by the
+// committed fleet (active + activating), the quantity the original
+// hard-coded control law thresholded.
+func (s *ScaleSignals) backlogPerInstance() float64 {
+	committed := s.Active + s.Activating
+	if committed <= 0 {
+		return float64(s.Backlog)
+	}
+	return float64(s.Backlog) / float64(committed)
+}
+
+// ScaleDecision is a policy's verdict for one control step. The autoscaler
+// applies it mechanically: ScaleOut activates one reserve (if any),
+// ScaleIn deactivates the longest-idle eligible instance (never below
+// MinActive), ScaleHold does nothing.
+type ScaleDecision int8
+
+const (
+	// ScaleHold keeps the fleet as is.
+	ScaleHold ScaleDecision = iota
+	// ScaleOut requests activating one reserve instance.
+	ScaleOut
+	// ScaleIn requests deactivating one idle instance.
+	ScaleIn
+)
+
+func (d ScaleDecision) String() string {
+	switch d {
+	case ScaleOut:
+		return "scale_out"
+	case ScaleIn:
+		return "scale_in"
+	}
+	return "hold"
+}
+
+// ScalePolicy decides, once per control interval, whether the decode fleet
+// should grow, shrink, or hold. Implementations may keep state (hysteresis,
+// cool-downs); build a fresh policy value per run.
+type ScalePolicy interface {
+	// Name identifies the policy in experiment output and telemetry.
+	Name() string
+	// Decide maps one signal snapshot to a fleet action.
+	Decide(sig ScaleSignals) ScaleDecision
+}
+
+// BacklogPolicy is the original control law: scale out when the pending
+// backlog per committed instance exceeds OutBacklog, scale in when an
+// instance has been idle for InIdle seconds.
+type BacklogPolicy struct {
+	OutBacklog float64 // pending requests per committed instance (default 2)
+	InIdle     float64 // idle seconds before scale-in (default 30)
+}
+
+// NewBacklogPolicy returns the backlog law with defaults applied for
+// non-positive parameters.
+func NewBacklogPolicy(outBacklog, inIdle float64) *BacklogPolicy {
+	if outBacklog <= 0 {
+		outBacklog = 2
+	}
+	if inIdle <= 0 {
+		inIdle = 30
+	}
+	return &BacklogPolicy{OutBacklog: outBacklog, InIdle: inIdle}
+}
+
+// Name implements ScalePolicy.
+func (p *BacklogPolicy) Name() string { return "backlog" }
+
+// Decide implements ScalePolicy.
+func (p *BacklogPolicy) Decide(sig ScaleSignals) ScaleDecision {
+	if sig.Reserves > 0 && sig.backlogPerInstance() > p.OutBacklog {
+		return ScaleOut
+	}
+	if sig.LongestIdle >= p.InIdle {
+		return ScaleIn
+	}
+	return ScaleHold
+}
+
+// OccupancyPolicy targets a running-batch fill band: scale out when the
+// time-averaged occupancy rises above High, scale in when it falls below Low
+// and an instance has idled for InIdle seconds. It consumes the
+// decode_batch_occupancy telemetry signal directly.
+type OccupancyPolicy struct {
+	High   float64 // occupancy fraction triggering scale-out (default 0.85)
+	Low    float64 // occupancy fraction allowing scale-in (default 0.30)
+	InIdle float64 // idle seconds before scale-in (default 10)
+}
+
+// NewOccupancyPolicy returns the occupancy-target law with defaults applied.
+func NewOccupancyPolicy() *OccupancyPolicy {
+	return &OccupancyPolicy{High: 0.85, Low: 0.30, InIdle: 10}
+}
+
+// Name implements ScalePolicy.
+func (p *OccupancyPolicy) Name() string { return "occupancy" }
+
+// Decide implements ScalePolicy.
+func (p *OccupancyPolicy) Decide(sig ScaleSignals) ScaleDecision {
+	if sig.Reserves > 0 && (sig.Occupancy >= p.High || sig.backlogPerInstance() >= 1) {
+		return ScaleOut
+	}
+	if sig.Occupancy <= p.Low && sig.LongestIdle >= p.InIdle {
+		return ScaleIn
+	}
+	return ScaleHold
+}
+
+// KVHeadroomPolicy scales on KV-cache memory pressure: out when utilization
+// crosses HighWater (admission stalls and force-admissions loom), in when it
+// sinks below LowWater with an idle instance. It consumes the
+// decode_kv_utilization telemetry signal directly.
+type KVHeadroomPolicy struct {
+	HighWater float64 // KV utilization triggering scale-out (default 0.80)
+	LowWater  float64 // KV utilization allowing scale-in (default 0.25)
+	InIdle    float64 // idle seconds before scale-in (default 10)
+}
+
+// NewKVHeadroomPolicy returns the KV-headroom law with defaults applied.
+func NewKVHeadroomPolicy() *KVHeadroomPolicy {
+	return &KVHeadroomPolicy{HighWater: 0.80, LowWater: 0.25, InIdle: 10}
+}
+
+// Name implements ScalePolicy.
+func (p *KVHeadroomPolicy) Name() string { return "kv-headroom" }
+
+// Decide implements ScalePolicy.
+func (p *KVHeadroomPolicy) Decide(sig ScaleSignals) ScaleDecision {
+	if sig.Reserves > 0 && sig.KVUtilization >= p.HighWater {
+		return ScaleOut
+	}
+	if sig.KVUtilization <= p.LowWater && sig.LongestIdle >= p.InIdle {
+		return ScaleIn
+	}
+	return ScaleHold
+}
+
+// HybridSLOPolicy combines the latency SLO with load signals, under
+// hysteresis: scale out when recent TTFT/TPOT approach their SLA bounds or
+// the backlog spikes; scale in only when latency, occupancy, and KV pressure
+// are all comfortably low and an instance has idled for InIdle seconds. A
+// cool-down after every action prevents flapping while a previous decision's
+// effect (a weight load, a drained batch) is still materializing.
+type HybridSLOPolicy struct {
+	// Margin is the fraction of the SLA bound at which scale-out triggers
+	// (default 0.8: act before the SLO is breached, not after).
+	Margin float64
+	// OutBacklog is the backlog-per-instance spike trigger (default 2),
+	// covering runs with no SLA and cold starts before latencies prime.
+	OutBacklog float64
+	// InIdle is the idle spell required for scale-in (default 10 s).
+	InIdle float64
+	// Cooldown holds decisions for this long after any action (default 5 s).
+	Cooldown float64
+
+	acted      bool
+	lastAction sim.Time
+}
+
+// NewHybridSLOPolicy returns the hybrid SLO-aware law with defaults applied.
+func NewHybridSLOPolicy() *HybridSLOPolicy {
+	return &HybridSLOPolicy{Margin: 0.8, OutBacklog: 2, InIdle: 10, Cooldown: 5}
+}
+
+// Name implements ScalePolicy.
+func (p *HybridSLOPolicy) Name() string { return "hybrid-slo" }
+
+// Decide implements ScalePolicy.
+func (p *HybridSLOPolicy) Decide(sig ScaleSignals) ScaleDecision {
+	if p.acted && sig.Now-p.lastAction < p.Cooldown {
+		return ScaleHold
+	}
+	slowTTFT := sig.SLA != nil && sig.LatencyPrimed && sig.TTFT >= p.Margin*sig.SLA.TTFT
+	slowTPOT := sig.SLA != nil && sig.LatencyPrimed && sig.TPOT >= p.Margin*sig.SLA.TPOT
+	if sig.Reserves > 0 && (slowTTFT || slowTPOT || sig.backlogPerInstance() > p.OutBacklog) {
+		p.acted, p.lastAction = true, sig.Now
+		return ScaleOut
+	}
+	comfortable := sig.SLA == nil || !sig.LatencyPrimed ||
+		(sig.TTFT <= 0.5*sig.SLA.TTFT && sig.TPOT <= 0.5*sig.SLA.TPOT)
+	if comfortable && sig.Occupancy < 0.5 && sig.KVUtilization < 0.5 && sig.LongestIdle >= p.InIdle {
+		p.acted, p.lastAction = true, sig.Now
+		return ScaleIn
+	}
+	return ScaleHold
+}
+
+// ScalePolicyNames lists the built-in policy names in reporting order.
+var ScalePolicyNames = []string{"backlog", "occupancy", "kv-headroom", "hybrid-slo"}
+
+// NewScalePolicy builds a fresh built-in policy with default parameters by
+// name (see ScalePolicyNames). Policies are stateful; never share one value
+// across runs.
+func NewScalePolicy(name string) (ScalePolicy, error) {
+	switch name {
+	case "backlog":
+		return NewBacklogPolicy(0, 0), nil
+	case "occupancy":
+		return NewOccupancyPolicy(), nil
+	case "kv-headroom":
+		return NewKVHeadroomPolicy(), nil
+	case "hybrid-slo":
+		return NewHybridSLOPolicy(), nil
+	}
+	return nil, fmt.Errorf("serving: unknown scale policy %q (available: backlog occupancy kv-headroom hybrid-slo)", name)
+}

@@ -1,0 +1,182 @@
+package serving
+
+import "testing"
+
+// calmSignals is a baseline snapshot no policy should act on: moderate load,
+// no backlog, no idle instance, latencies well inside the SLA.
+func calmSignals() ScaleSignals {
+	return ScaleSignals{
+		Now:           100,
+		Backlog:       0,
+		Active:        2,
+		Activating:    0,
+		Reserves:      1,
+		MinActive:     1,
+		MaxBatch:      8,
+		Occupancy:     0.5,
+		KVUtilization: 0.4,
+		LongestIdle:   0,
+		TTFT:          0.1,
+		TPOT:          0.05,
+		LatencyPrimed: true,
+		SLA:           &SLA{TTFT: 2.5, TPOT: 0.15},
+	}
+}
+
+func TestBacklogPerInstance(t *testing.T) {
+	sig := calmSignals()
+	sig.Backlog, sig.Active, sig.Activating = 6, 2, 1
+	if got := sig.backlogPerInstance(); got != 2 {
+		t.Errorf("backlogPerInstance = %g, want 2 (activating instances count as committed)", got)
+	}
+	sig.Active, sig.Activating = 0, 0
+	if got := sig.backlogPerInstance(); got != 6 {
+		t.Errorf("backlogPerInstance with empty fleet = %g, want raw backlog 6", got)
+	}
+}
+
+func TestBacklogPolicyDecide(t *testing.T) {
+	p := NewBacklogPolicy(0, 0)
+	if p.OutBacklog != 2 || p.InIdle != 30 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	sig := calmSignals()
+	if d := p.Decide(sig); d != ScaleHold {
+		t.Errorf("calm: %v, want hold", d)
+	}
+	sig.Backlog = 10 // 5 per committed instance
+	if d := p.Decide(sig); d != ScaleOut {
+		t.Errorf("backlog spike: %v, want scale_out", d)
+	}
+	sig.Reserves = 0 // nothing left to activate
+	if d := p.Decide(sig); d != ScaleHold {
+		t.Errorf("backlog spike without reserves: %v, want hold", d)
+	}
+	sig = calmSignals()
+	sig.LongestIdle = 31
+	if d := p.Decide(sig); d != ScaleIn {
+		t.Errorf("long idle: %v, want scale_in", d)
+	}
+	sig.LongestIdle = 29
+	if d := p.Decide(sig); d != ScaleHold {
+		t.Errorf("short idle: %v, want hold", d)
+	}
+}
+
+func TestOccupancyPolicyDecide(t *testing.T) {
+	p := NewOccupancyPolicy()
+	sig := calmSignals()
+	if d := p.Decide(sig); d != ScaleHold {
+		t.Errorf("calm: %v, want hold", d)
+	}
+	sig.Occupancy = 0.9
+	if d := p.Decide(sig); d != ScaleOut {
+		t.Errorf("hot batches: %v, want scale_out", d)
+	}
+	sig = calmSignals()
+	sig.Backlog = 2 // 1 per instance: queueing means batches are full somewhere
+	if d := p.Decide(sig); d != ScaleOut {
+		t.Errorf("queueing: %v, want scale_out", d)
+	}
+	sig = calmSignals()
+	sig.Occupancy, sig.LongestIdle = 0.1, 11
+	if d := p.Decide(sig); d != ScaleIn {
+		t.Errorf("cold batches + idle: %v, want scale_in", d)
+	}
+	sig.LongestIdle = 0
+	if d := p.Decide(sig); d != ScaleHold {
+		t.Errorf("cold batches, nothing idle: %v, want hold", d)
+	}
+}
+
+func TestKVHeadroomPolicyDecide(t *testing.T) {
+	p := NewKVHeadroomPolicy()
+	sig := calmSignals()
+	if d := p.Decide(sig); d != ScaleHold {
+		t.Errorf("calm: %v, want hold", d)
+	}
+	sig.KVUtilization = 0.85
+	if d := p.Decide(sig); d != ScaleOut {
+		t.Errorf("KV pressure: %v, want scale_out", d)
+	}
+	sig.Reserves = 0
+	if d := p.Decide(sig); d != ScaleHold {
+		t.Errorf("KV pressure without reserves: %v, want hold", d)
+	}
+	sig = calmSignals()
+	sig.KVUtilization, sig.LongestIdle = 0.1, 11
+	if d := p.Decide(sig); d != ScaleIn {
+		t.Errorf("KV slack + idle: %v, want scale_in", d)
+	}
+}
+
+func TestHybridSLOPolicyDecide(t *testing.T) {
+	p := NewHybridSLOPolicy()
+	sig := calmSignals()
+	if d := p.Decide(sig); d != ScaleHold {
+		t.Errorf("calm: %v, want hold", d)
+	}
+	// TPOT at 90% of the SLA bound: act before the breach.
+	sig.TPOT = 0.9 * sig.SLA.TPOT
+	if d := p.Decide(sig); d != ScaleOut {
+		t.Errorf("TPOT near SLA: %v, want scale_out", d)
+	}
+	// Cool-down: the same pressure immediately after an action holds.
+	sig.Now += 1
+	if d := p.Decide(sig); d != ScaleHold {
+		t.Errorf("inside cool-down: %v, want hold", d)
+	}
+	// After the cool-down the pressure triggers again.
+	sig.Now += 10
+	if d := p.Decide(sig); d != ScaleOut {
+		t.Errorf("after cool-down: %v, want scale_out", d)
+	}
+
+	// Unprimed latencies are unknown, not "fast": only a backlog spike may
+	// trigger scale-out before the first completion.
+	p = NewHybridSLOPolicy()
+	sig = calmSignals()
+	sig.LatencyPrimed, sig.TTFT, sig.TPOT = false, 0, 0
+	if d := p.Decide(sig); d != ScaleHold {
+		t.Errorf("unprimed calm: %v, want hold", d)
+	}
+	sig.Backlog = 10
+	if d := p.Decide(sig); d != ScaleOut {
+		t.Errorf("unprimed backlog spike: %v, want scale_out", d)
+	}
+
+	// Scale-in needs everything comfortable, not just an idle instance.
+	p = NewHybridSLOPolicy()
+	sig = calmSignals()
+	sig.TTFT, sig.TPOT = 0.1, 0.05
+	sig.Occupancy, sig.KVUtilization, sig.LongestIdle = 0.2, 0.1, 11
+	if d := p.Decide(sig); d != ScaleIn {
+		t.Errorf("comfortable + idle: %v, want scale_in", d)
+	}
+	p = NewHybridSLOPolicy()
+	sig.TPOT = 0.6 * sig.SLA.TPOT // latency not comfortably low
+	if d := p.Decide(sig); d != ScaleHold {
+		t.Errorf("idle but latency warm: %v, want hold", d)
+	}
+}
+
+func TestNewScalePolicy(t *testing.T) {
+	for _, name := range ScalePolicyNames {
+		p, err := NewScalePolicy(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("NewScalePolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := NewScalePolicy("nope"); err == nil {
+		t.Error("unknown policy name did not error")
+	}
+}
+
+func TestScaleDecisionString(t *testing.T) {
+	if ScaleHold.String() != "hold" || ScaleOut.String() != "scale_out" || ScaleIn.String() != "scale_in" {
+		t.Errorf("decision strings: %q %q %q", ScaleHold, ScaleOut, ScaleIn)
+	}
+}

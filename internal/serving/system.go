@@ -40,16 +40,17 @@ type System struct {
 	metrics []RequestMetrics
 
 	// Telemetry (nil when off).
-	tel          *telemetry.Hub
-	telAdmitted  *telemetry.Counter
-	telCompleted *telemetry.Counter
-	telSLAMet    *telemetry.Counter
-	telSLAMissed *telemetry.Counter
-	telTTFT      *telemetry.Histogram
-	telTPOT      *telemetry.Histogram
-	telE2E       *telemetry.Histogram
-	telBatchReqs *telemetry.Histogram
-	telBatchToks *telemetry.Histogram
+	tel           *telemetry.Hub
+	telAdmitted   *telemetry.Counter
+	telCompleted  *telemetry.Counter
+	telSLAMet     *telemetry.Counter
+	telSLAMissed  *telemetry.Counter
+	telTTFT       *telemetry.Histogram
+	telTPOT       *telemetry.Histogram
+	telE2E        *telemetry.Histogram
+	telBatchReqs  *telemetry.Histogram
+	telBatchToks  *telemetry.Histogram
+	telGPUSeconds *telemetry.Counter
 }
 
 // request tracks one in-flight request's simulation state.
@@ -82,9 +83,12 @@ type decodeInstance struct {
 	pending []*request
 	// Autoscaling state: instances are active by default; with
 	// Options.Autoscale, reserves start deactivated and the autoscaler
-	// toggles them (activating = weights still loading).
+	// toggles them (activating = weights still loading). idle is an explicit
+	// flag — sim time starts at 0, so a zero idleSince cannot double as a
+	// "not idle" sentinel; idleSince is meaningful only while idle is set.
 	active     bool
 	activating bool
+	idle       bool
 	idleSince  sim.Time
 	// inflightKV counts tokens whose KV is currently migrating toward this
 	// instance, for load-aware assignment.
@@ -184,6 +188,8 @@ func (s *System) attachTelemetry(h *telemetry.Hub) {
 		[]float64{1, 2, 4, 8, 16, 32}, nil)
 	s.telBatchToks = m.Histogram("prefill_batch_tokens", "Token budget used per prefill batch.",
 		[]float64{256, 1024, 4096, 8192, 16384, 32768}, nil)
+	s.telGPUSeconds = m.Counter("decode_gpu_seconds_total",
+		"Decode GPU-seconds kept active (autoscaled runs accrue incrementally; static runs charge all GPUs for the whole duration).", nil)
 	for _, di := range s.decode {
 		name := fmt.Sprintf("decode-%d", di.id)
 		di.telOcc = m.Gauge("decode_batch_occupancy",
@@ -324,6 +330,7 @@ func (s *System) Run(trace *workload.Trace) *Results {
 			gpus += len(di.spec.GPUs())
 		}
 		res.ActiveGPUSeconds = float64(gpus) * res.Duration
+		s.telGPUSeconds.Add(res.ActiveGPUSeconds)
 	}
 	return res
 }

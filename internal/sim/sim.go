@@ -29,6 +29,7 @@ type Event struct {
 	fn     func()
 	index  int // heap index; -1 when not queued
 	cancel bool
+	daemon bool
 }
 
 // At returns the simulated time the event is scheduled for.
@@ -36,6 +37,10 @@ func (e *Event) At() Time { return e.at }
 
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.cancel }
+
+// Daemon reports whether the event was scheduled as a daemon tick (see
+// ScheduleDaemon).
+func (e *Event) Daemon() bool { return e.daemon }
 
 type eventQueue []*Event
 
@@ -78,6 +83,9 @@ type Engine struct {
 	nextSeq uint64
 	// processed counts events that have executed (not cancelled ones).
 	processed uint64
+	// work counts queued non-daemon events: the events that represent real
+	// simulated activity rather than periodic housekeeping.
+	work int
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -95,6 +103,12 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // events that have not yet been discarded).
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// PendingWork returns the number of queued non-daemon events. Periodic
+// control loops should consult it — not Pending — when deciding whether to
+// reschedule themselves: counting every queued event lets two daemon loops
+// keep each other (and the whole simulation) alive forever.
+func (e *Engine) PendingWork() int { return e.work }
+
 // Schedule enqueues fn to run at absolute time at. Scheduling in the past
 // panics: it always indicates a simulator bug, and silently reordering time
 // would corrupt every downstream measurement.
@@ -105,12 +119,29 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	ev := &Event{at: at, seq: e.nextSeq, fn: fn, index: -1}
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
+	e.work++
 	return ev
 }
 
 // After enqueues fn to run delay seconds from now. Negative delays panic.
 func (e *Engine) After(delay Time, fn func()) *Event {
 	return e.Schedule(e.now+delay, fn)
+}
+
+// ScheduleDaemon enqueues a housekeeping callback — a periodic scheduler
+// refresh, an autoscaler control step — that must not keep the simulation
+// alive on its own: Run stops once only daemon events remain, discarding
+// them unrun.
+func (e *Engine) ScheduleDaemon(at Time, fn func()) *Event {
+	ev := e.Schedule(at, fn)
+	ev.daemon = true
+	e.work--
+	return ev
+}
+
+// AfterDaemon enqueues a daemon callback delay seconds from now.
+func (e *Engine) AfterDaemon(delay Time, fn func()) *Event {
+	return e.ScheduleDaemon(e.now+delay, fn)
 }
 
 // Cancel marks ev so that it will not run. Cancelling an already-executed or
@@ -123,6 +154,9 @@ func (e *Engine) Cancel(ev *Event) {
 	if ev.index >= 0 {
 		heap.Remove(&e.queue, ev.index)
 		ev.index = -1
+		if !ev.daemon {
+			e.work--
+		}
 	}
 }
 
@@ -131,6 +165,9 @@ func (e *Engine) Cancel(ev *Event) {
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
+		if !ev.daemon {
+			e.work--
+		}
 		if ev.cancel {
 			continue
 		}
@@ -142,9 +179,11 @@ func (e *Engine) Step() bool {
 	return false
 }
 
-// Run executes events until the queue is empty.
+// Run executes events until no real work remains. Daemon events still queued
+// once the work drains are discarded unrun: a periodic control tick with
+// nothing left to control must not advance the clock forever.
 func (e *Engine) Run() {
-	for e.Step() {
+	for e.work > 0 && e.Step() {
 	}
 }
 
@@ -157,6 +196,9 @@ func (e *Engine) RunUntil(deadline Time) {
 		next := e.queue[0]
 		if next.cancel {
 			heap.Pop(&e.queue)
+			if !next.daemon {
+				e.work--
+			}
 			continue
 		}
 		if next.at > deadline {

@@ -229,3 +229,62 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+func TestDaemonEventsDoNotKeepEngineAlive(t *testing.T) {
+	// Two periodic daemon loops that each reschedule while the other's tick
+	// is queued: with plain events this ping-pongs forever. Run must stop
+	// once the only real work (one event at t=1) has drained.
+	e := NewEngine()
+	ticks := 0
+	var loopA, loopB func()
+	loopA = func() {
+		ticks++
+		if e.PendingWork() > 0 {
+			e.AfterDaemon(0.5, loopA)
+		}
+	}
+	loopB = func() {
+		ticks++
+		if e.PendingWork() > 0 {
+			e.AfterDaemon(0.5, loopB)
+		}
+	}
+	e.AfterDaemon(0.5, loopA)
+	e.AfterDaemon(0.5, loopB)
+	worked := false
+	e.Schedule(1, func() { worked = true })
+	e.Run()
+	if !worked {
+		t.Error("the real event never ran")
+	}
+	if e.Now() != 1 {
+		t.Errorf("clock stopped at %g, want 1 (the last real event)", e.Now())
+	}
+	if ticks == 0 {
+		t.Error("daemon loops never ticked while work was pending")
+	}
+	if e.PendingWork() != 0 {
+		t.Errorf("PendingWork = %d after Run", e.PendingWork())
+	}
+}
+
+func TestCancelDaemonAccounting(t *testing.T) {
+	e := NewEngine()
+	w := e.Schedule(1, func() {})
+	d := e.ScheduleDaemon(2, func() {})
+	if e.PendingWork() != 1 || e.Pending() != 2 {
+		t.Fatalf("PendingWork=%d Pending=%d, want 1, 2", e.PendingWork(), e.Pending())
+	}
+	if !d.Daemon() || w.Daemon() {
+		t.Error("daemon flags wrong")
+	}
+	e.Cancel(w)
+	if e.PendingWork() != 0 {
+		t.Errorf("PendingWork = %d after cancelling the work event", e.PendingWork())
+	}
+	e.Cancel(d)
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after cancelling everything", e.Pending())
+	}
+	e.Run() // must return immediately
+}

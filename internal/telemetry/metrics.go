@@ -160,6 +160,26 @@ func (r *Registry) Value(name string, values ...string) (float64, bool) {
 	return 0, false
 }
 
+// TimeAvg returns the time-weighted mean of a gauge child over the run so
+// far, advanced to the current clock — the same number the exposition's
+// <name>_timeavg series reports. It returns false if the family or child
+// does not exist or is not a gauge.
+func (r *Registry) TimeAvg(name string, values ...string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	f, ok := r.fams[name]
+	if !ok {
+		return 0, false
+	}
+	c, ok := f.childs[strings.Join(values, labelSep)]
+	if !ok || c.gauge == nil {
+		return 0, false
+	}
+	c.gauge.tw.Advance(r.clock())
+	return c.gauge.tw.Mean(), true
+}
+
 // HistogramCount returns the total observation count of a histogram child.
 func (r *Registry) HistogramCount(name string, values ...string) (uint64, bool) {
 	if r == nil {

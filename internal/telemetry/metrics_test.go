@@ -114,3 +114,32 @@ func TestLabelEscaping(t *testing.T) {
 		t.Errorf("bad help escaping:\n%s", out)
 	}
 }
+
+func TestRegistryTimeAvg(t *testing.T) {
+	clock := 0.0
+	r := NewRegistry(func() float64 { return clock })
+	g := r.Gauge("g", "", []string{"inst"}, "a")
+	g.Set(4)
+	clock = 2
+	g.Set(0)
+	clock = 4
+	// 4 held for [0,2), 0 for [2,4): the mean advances to the current clock
+	// even without an intervening Set, matching the g_timeavg exposition.
+	if got, ok := r.TimeAvg("g", "a"); !ok || got != 2 {
+		t.Errorf("TimeAvg = %v (ok=%v), want 2", got, ok)
+	}
+	if _, ok := r.TimeAvg("missing"); ok {
+		t.Error("TimeAvg found a missing family")
+	}
+	if _, ok := r.TimeAvg("g", "other"); ok {
+		t.Error("TimeAvg found a missing child")
+	}
+	r.Counter("c", "", nil).Inc()
+	if _, ok := r.TimeAvg("c"); ok {
+		t.Error("TimeAvg answered for a counter")
+	}
+	var nilReg *Registry
+	if _, ok := nilReg.TimeAvg("g", "a"); ok {
+		t.Error("nil registry TimeAvg should report not-found")
+	}
+}

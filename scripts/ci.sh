@@ -39,6 +39,18 @@ test -s "$ART/metrics.prom"
 grep -q '^serving_requests_completed_total' "$ART/metrics.prom"
 echo "telemetry artifacts: $ART"
 
+# Scaling-study smoke: the ext-scale scoreboard must run end to end in both
+# machine formats. The CSV must carry the static reference plus every policy;
+# the JSON must parse. (Registry-vs-Results agreement is asserted inside the
+# experiment itself.)
+echo "== ext-scale smoke"
+go run ./cmd/heroserve -exp ext-scale -format csv -seed 1 > "$ART/ext-scale.csv"
+for policy in static-full backlog occupancy kv-headroom hybrid-slo; do
+	grep -q ",$policy," "$ART/ext-scale.csv"
+done
+go run ./cmd/heroserve -exp ext-scale -format json -seed 1 > "$ART/ext-scale.json"
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['tables'][0]['rows']" "$ART/ext-scale.json"
+
 # Golden-metrics gate: the pinned seed matrix must reproduce the checked-in
 # expositions byte for byte. On drift the per-case diffs land in the
 # artifact dir for upload.

@@ -39,6 +39,10 @@ cases() {
 	# Summarization needs the paper's long-context settings (TTFT 25 s,
 	# batch Q=1) to be plannable on the testbed.
 	echo 'ds-switchml-testbed-summarization|-kind summarization -n 16 -rate 0.2 -seed 11|-system ds-switchml -topology testbed -model opt-13b -seed 11 -elephants 2 -ttft 25 -tpot 0.2 -batch 1'
+	# Autoscaled run: pins the scale-policy decision stream, the
+	# decode_active_instances trajectory, and the incremental
+	# decode_gpu_seconds_total ledger.
+	echo 'heroserve-testbed-chatbot-autoscaled|-kind chatbot -n 40 -rate 4 -seed 7|-system heroserve -topology testbed -model opt-13b -seed 7 -autoscale -scale-policy hybrid-slo'
 }
 
 # produce NAME TRACEGEN_ARGS SERVE_ARGS: run the case, normalize the
