@@ -64,7 +64,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	list := flag.Bool("list", false, "list experiment ids")
 	traceOut := flag.String("trace-out", "", "stream Chrome trace-event JSON across all runs here")
-	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics across all runs here")
+	metricsOut := flag.String("metrics-out", "", "write text-format metrics across all runs here")
+	metricsFormat := flag.String("metrics-format", "prom", "metrics exposition format: prom | openmetrics")
 	listen := flag.String("listen", "", "serve live /metrics /healthz /runs /trace on this address during the sweep")
 	flag.Parse()
 
@@ -88,6 +89,12 @@ func main() {
 	case "text", "csv", "json":
 	default:
 		fmt.Fprintf(os.Stderr, "heroserve: unknown format %q (text|csv|json)\n", *format)
+		os.Exit(2)
+	}
+	switch *metricsFormat {
+	case "prom", "openmetrics":
+	default:
+		fmt.Fprintf(os.Stderr, "heroserve: unknown metrics format %q (prom|openmetrics)\n", *metricsFormat)
 		os.Exit(2)
 	}
 	if *exp == "" {
@@ -161,6 +168,11 @@ func main() {
 		experiments.SetRunObserver(func(kind experiments.SystemKind, res *serving.Results, sla serving.SLA) {
 			ttfts := stats.Summarize(res.TTFTs())
 			tpots := stats.Summarize(res.TPOTs())
+			// Publish before AddRun so the run's /runs/diff snapshot includes
+			// its own final metrics.
+			if err := srv.PublishHub(hub); err != nil {
+				fmt.Fprintf(os.Stderr, "heroserve: publish: %v\n", err)
+			}
 			srv.AddRun(telemetry.RunSummary{
 				System:     kind.String(),
 				Policy:     res.PolicyName,
@@ -172,9 +184,6 @@ func main() {
 				TTFT:       telemetry.Latency{Mean: ttfts.Mean, P50: ttfts.P50, P90: ttfts.P90, P99: ttfts.P99},
 				TPOT:       telemetry.Latency{Mean: tpots.Mean, P50: tpots.P50, P90: tpots.P90, P99: tpots.P99},
 			})
-			if err := srv.PublishHub(hub); err != nil {
-				fmt.Fprintf(os.Stderr, "heroserve: publish: %v\n", err)
-			}
 		})
 	}
 
@@ -212,11 +221,15 @@ func main() {
 		fmt.Printf("streamed %d trace events to %s\n", hub.Trace.Len(), *traceOut)
 	}
 	if *metricsOut != "" {
-		if err := exportFile(*metricsOut, hub.Metrics.WriteProm); err != nil {
+		write := hub.Metrics.WriteProm
+		if *metricsFormat == "openmetrics" {
+			write = hub.Metrics.WriteOpenMetrics
+		}
+		if err := exportFile(*metricsOut, write); err != nil {
 			fmt.Fprintf(os.Stderr, "heroserve: metrics export: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+		fmt.Printf("wrote metrics (%s) to %s\n", *metricsFormat, *metricsOut)
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"heroserve/internal/serving"
 	"heroserve/internal/stats"
 	"heroserve/internal/telemetry"
+	"heroserve/internal/telemetry/critpath"
 	"heroserve/internal/topology"
 	"heroserve/internal/workload"
 )
@@ -65,7 +66,8 @@ func main() {
 	scalePolicy := flag.String("scale-policy", "backlog", "autoscaler policy: backlog | occupancy | kv-headroom | hybrid-slo")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	traceOut := flag.String("trace-out", "", "stream Chrome trace-event JSON (Perfetto-loadable) here")
-	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics here")
+	metricsOut := flag.String("metrics-out", "", "write text-format metrics here")
+	metricsFormat := flag.String("metrics-format", "prom", "metrics exposition format: prom | openmetrics")
 	daemon := flag.Bool("daemon", false, "serve /metrics /healthz /runs /trace over HTTP and stay up after the run")
 	listen := flag.String("listen", ":9090", "daemon listen address")
 	publishEvery := flag.Float64("publish-every", 5, "daemon metrics-snapshot cadence in simulated seconds")
@@ -88,6 +90,9 @@ func main() {
 	}
 	if *daemon && *publishEvery <= 0 {
 		fatalf("-publish-every must be positive")
+	}
+	if *metricsFormat != "prom" && *metricsFormat != "openmetrics" {
+		fatalf("unknown -metrics-format %q (allowed: prom | openmetrics)", *metricsFormat)
 	}
 	if _, perr := serving.NewScalePolicy(*scalePolicy); perr != nil {
 		fatalf("%v", perr)
@@ -200,10 +205,14 @@ func main() {
 		fmt.Printf("streamed %d trace events to %s\n", hub.Trace.Len(), *traceOut)
 	}
 	if *metricsOut != "" {
-		if err := exportFile(*metricsOut, hub.Metrics.WriteProm); err != nil {
+		write := hub.Metrics.WriteProm
+		if *metricsFormat == "openmetrics" {
+			write = hub.Metrics.WriteOpenMetrics
+		}
+		if err := exportFile(*metricsOut, write); err != nil {
 			fatalf("metrics export: %v", err)
 		}
-		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+		fmt.Printf("wrote metrics (%s) to %s\n", *metricsFormat, *metricsOut)
 	}
 
 	if *daemon {
@@ -292,8 +301,25 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 			fmt.Printf("  t=%8.2fs %-10s instance=%d active=%d\n", e.T, e.Action, e.ID, e.Active)
 		}
 	}
+	if cp := res.CritPath; cp != nil && cp.Requests > 0 {
+		fmt.Printf("critical path: ")
+		first := true
+		for _, e := range critpathSummary(cp) {
+			if !first {
+				fmt.Printf(" ")
+			}
+			fmt.Printf("%s=%.1f%%", e.stage, e.share*100)
+			first = false
+		}
+		fmt.Printf(" (of %.1fs total e2e; tracestat for the full breakdown)\n", cp.E2ESum())
+	}
 
 	if srv != nil {
+		// Publish before AddRun so the run's /runs/diff snapshot includes its
+		// own final metrics.
+		if err := srv.PublishHub(hub); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: daemon publish: %v\n", err)
+		}
 		srv.AddRun(telemetry.RunSummary{
 			System:     name,
 			Policy:     res.PolicyName,
@@ -305,10 +331,36 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 			TTFT:       telemetry.Latency{Mean: ttfts.Mean, P50: ttfts.P50, P90: ttfts.P90, P99: ttfts.P99},
 			TPOT:       telemetry.Latency{Mean: tpots.Mean, P50: tpots.P50, P90: tpots.P90, P99: tpots.P99},
 		})
-		if err := srv.PublishHub(hub); err != nil {
-			fmt.Fprintf(os.Stderr, "serve: daemon publish: %v\n", err)
-		}
 	}
+}
+
+// cpEntry is one stage's share of the end-to-end critical path.
+type cpEntry struct {
+	stage string
+	share float64
+}
+
+// critpathSummary returns the top three stages by E2E share, largest first
+// (ties by stage name for a deterministic one-liner).
+func critpathSummary(cp *critpath.Report) []cpEntry {
+	total := cp.E2ESum()
+	if total <= 0 {
+		return nil
+	}
+	entries := make([]cpEntry, 0, len(cp.E2ETotal))
+	for s, v := range cp.E2ETotal {
+		entries = append(entries, cpEntry{stage: s, share: v / total})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].share != entries[j].share {
+			return entries[i].share > entries[j].share
+		}
+		return entries[i].stage < entries[j].stage
+	})
+	if len(entries) > 3 {
+		entries = entries[:3]
+	}
+	return entries
 }
 
 // exportFile writes one telemetry artifact via its writer function.

@@ -1,0 +1,83 @@
+// Command tracestat analyzes an exported trace (spans.json from cmd/serve's
+// -trace-out or the daemon's /trace endpoint) through the critical-path
+// analyzer: it reconstructs every request's span tree and prints the
+// per-stage TTFT/E2E decomposition plus the slowest-N requests table, the
+// offline twin of the live ttft/e2e_critical_path_seconds_total counters.
+//
+// Usage:
+//
+//	serve -trace trace.json -trace-out spans.json ...
+//	tracestat spans.json
+//	tracestat -top 20 spans.json
+//	tracestat -diff before.json after.json
+//	tracestat -json spans.json
+//
+// With -diff, two traces are analyzed and the per-stage E2E totals compared
+// side by side — the quickest way to see which stage a policy or topology
+// change actually moved. Output is deterministic for deterministic traces,
+// so it can be pinned in golden tests.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"heroserve/internal/telemetry/critpath"
+)
+
+func main() {
+	top := flag.Int("top", 10, "slowest-requests table size")
+	diff := flag.Bool("diff", false, "compare two traces' per-stage totals (takes two files)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of text")
+	flag.Parse()
+
+	args := flag.Args()
+	switch {
+	case *diff && len(args) == 2:
+		a := analyze(args[0], *top)
+		b := analyze(args[1], *top)
+		if err := critpath.FprintDiff(os.Stdout, a, b); err != nil {
+			fatalf("%v", err)
+		}
+	case !*diff && len(args) == 1:
+		rep := analyze(args[0], *top)
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fatalf("%v", err)
+			}
+			return
+		}
+		if err := rep.Fprint(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fatalf("usage: tracestat [-top N] [-json] spans.json | tracestat -diff a.json b.json")
+	}
+}
+
+// analyze runs the critical-path analyzer over one trace file.
+func analyze(path string, top int) *critpath.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	a, err := critpath.FromTrace(f)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	rep := a.Report(top)
+	if rep.Requests == 0 {
+		fmt.Fprintf(os.Stderr, "tracestat: warning: %s has no finalized request spans (was the run traced with telemetry on?)\n", path)
+	}
+	return rep
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracestat: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -50,7 +50,7 @@ type ringPolicy struct{}
 func (ringPolicy) Name() string { return "DistServe" }
 
 func (ringPolicy) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps int, done func()) {
-	ctx.Comm.RingAllReduce(ctx.Group, msgBytes, steps, done)
+	ctx.Comm.AllReduceTagged(collective.SchemeRing, ctx.Group, -1, msgBytes, steps, ctx.Reqs, done)
 }
 
 // inaPolicy offloads cross-server synchronization to Ethernet INA at the
@@ -67,10 +67,14 @@ func (p inaPolicy) Name() string { return p.name }
 
 func (p inaPolicy) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps int, done func()) {
 	if ctx.Switch < 0 || intraServer(ctx) {
-		ctx.Comm.RingAllReduce(ctx.Group, msgBytes, steps, done)
+		ctx.Comm.AllReduceTagged(collective.SchemeRing, ctx.Group, -1, msgBytes, steps, ctx.Reqs, done)
 		return
 	}
-	ctx.Comm.INAAllReduce(ctx.Group, ctx.Switch, msgBytes, steps, p.mode, done)
+	scheme := collective.SchemeINASync
+	if p.mode == switchsim.ModeAsync {
+		scheme = collective.SchemeINAAsync
+	}
+	ctx.Comm.AllReduceTagged(scheme, ctx.Group, ctx.Switch, msgBytes, steps, ctx.Reqs, done)
 }
 
 // intraServer reports whether the whole group lives on one server.

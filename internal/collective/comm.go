@@ -527,12 +527,23 @@ func (c *Comm) heteroAllReduce(servers [][]topology.NodeID, p int, sw topology.N
 // span (the scheme that *executes* may differ from the span's scheme arg only
 // via the recorded fallback instants). sw is ignored by SchemeRing.
 func (c *Comm) AllReduce(scheme Scheme, group []topology.NodeID, sw topology.NodeID, msgBytes int64, steps int, done func()) {
+	c.AllReduceTagged(scheme, group, sw, msgBytes, steps, nil, done)
+}
+
+// AllReduceTagged is AllReduce with batch→request attribution: reqs lists the
+// request IDs whose tokens ride this collective, recorded on the span as the
+// "reqs" arg so the critical-path analyzer can charge the communication time
+// to the requests it served. An empty reqs emits the same span AllReduce does.
+func (c *Comm) AllReduceTagged(scheme Scheme, group []topology.NodeID, sw topology.NodeID, msgBytes int64, steps int, reqs []int, done func()) {
 	if c.tel != nil {
 		c.asyncSeq++
 		id := c.asyncSeq
 		args := map[string]any{
 			"scheme": scheme.String(), "group": len(group),
 			"bytes": msgBytes, "steps": steps,
+		}
+		if len(reqs) > 0 {
+			args["reqs"] = append([]int(nil), reqs...)
 		}
 		if scheme.UsesINA() {
 			args["switch"] = c.switchName(sw)

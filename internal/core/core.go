@@ -128,7 +128,7 @@ func (p *OnlinePolicy) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps in
 		reason = "guard-fallback"
 	}
 	p.audit(ctx, t, &pol, scheme, reason, msgBytes, steps)
-	ctx.Comm.AllReduce(scheme, ctx.Group, sw, msgBytes, steps, done)
+	ctx.Comm.AllReduceTagged(scheme, ctx.Group, sw, msgBytes, steps, ctx.Reqs, done)
 }
 
 // audit publishes the decision record of one policy pick: the
@@ -147,7 +147,7 @@ func (p *OnlinePolicy) audit(ctx *serving.GroupCtx, t *scheduler.Table, pol *sch
 	for i, c := range t.Costs() {
 		costs[t.Policies[i].Label] = telemetry.Float(c)
 	}
-	tel.Trace.Instant(telemetry.ControlTID, "sched", "policy-select", map[string]any{
+	args := map[string]any{
 		"group":   fmt.Sprintf("%s/%d/%d", ctx.ID.Role, ctx.ID.Instance, ctx.ID.Stage),
 		"policy":  pol.Label,
 		"scheme":  scheme.String(),
@@ -155,7 +155,11 @@ func (p *OnlinePolicy) audit(ctx *serving.GroupCtx, t *scheduler.Table, pol *sch
 		"bytes":   msgBytes * int64(steps),
 		"stalled": p.ctl.Stalled(),
 		"costs":   costs,
-	})
+	}
+	if len(ctx.Reqs) > 0 {
+		args["reqs"] = ctx.Reqs
+	}
+	tel.Trace.Instant(telemetry.ControlTID, "sched", "policy-select", args)
 }
 
 // policyAlive reports whether an INA policy's data plane is free of fault

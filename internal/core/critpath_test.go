@@ -1,0 +1,165 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"heroserve/internal/baselines"
+	"heroserve/internal/serving"
+	"heroserve/internal/telemetry"
+	"heroserve/internal/workload"
+)
+
+// critRun executes one full serving run with telemetry armed and returns the
+// results, the hub, and both metric expositions plus the trace export.
+func critRun(t *testing.T, system string) (*serving.Results, *telemetry.Hub, []byte, []byte) {
+	t.Helper()
+	in := inputs(t)
+	hub := telemetry.New()
+	sla := in.SLA
+	opts := serving.Options{Telemetry: hub, SLA: &sla}
+	var sys *serving.System
+	var err error
+	switch system {
+	case "heroserve":
+		sys, _, _, err = NewSystem(in, nil, opts)
+	case "distserve":
+		sys, _, err = baselines.NewSystem(baselines.DistServe, in, opts)
+	case "ds-switchml":
+		sys, _, err = baselines.NewSystem(baselines.DSSwitchML, in, opts)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(workload.NewGenerator(workload.Chatbot, 9).Generate(20, 2))
+	var om, spans bytes.Buffer
+	if err := hub.Metrics.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Trace.Export(&spans); err != nil {
+		t.Fatal(err)
+	}
+	return res, hub, om.Bytes(), spans.Bytes()
+}
+
+// sumCounterFamily sums every {stage} child of a critical-path counter
+// family out of the exposition text.
+func sumCounterFamily(t *testing.T, exposition []byte, fam string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + fam + `_total\{stage="[^"]+"\} (\S+)$`)
+	var sum float64
+	for _, m := range re.FindAllSubmatch(exposition, -1) {
+		v, err := strconv.ParseFloat(string(m[1]), 64)
+		if err != nil {
+			t.Fatalf("bad sample %q: %v", m[0], err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+// TestCritPathSumsMatchHistograms is the acceptance identity: for each
+// system, the per-stage critical-path totals must sum to the TTFT and E2E
+// histogram sums within 1e-6 — the decomposition is exact, not approximate.
+func TestCritPathSumsMatchHistograms(t *testing.T) {
+	for _, system := range []string{"heroserve", "distserve", "ds-switchml"} {
+		t.Run(system, func(t *testing.T) {
+			res, hub, om, _ := critRun(t, system)
+			if res.CritPath == nil {
+				t.Fatal("Results.CritPath not populated")
+			}
+			if res.CritPath.Requests != res.Served {
+				t.Fatalf("critpath finalized %d requests, served %d",
+					res.CritPath.Requests, res.Served)
+			}
+			ttftHist := hub.Metrics.Histogram("ttft_seconds", "Time to first token.",
+				[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}, nil)
+			e2eHist := hub.Metrics.Histogram("request_seconds", "Request end-to-end latency.",
+				[]float64{0.5, 1, 2.5, 5, 10, 25, 50, 100}, nil)
+
+			ttftStages := sumCounterFamily(t, om, "ttft_critical_path_seconds")
+			e2eStages := sumCounterFamily(t, om, "e2e_critical_path_seconds")
+			if math.Abs(ttftStages-ttftHist.Sum()) > 1e-6 {
+				t.Errorf("ttft stages sum %.9f != histogram sum %.9f (delta %g)",
+					ttftStages, ttftHist.Sum(), ttftStages-ttftHist.Sum())
+			}
+			if math.Abs(e2eStages-e2eHist.Sum()) > 1e-6 {
+				t.Errorf("e2e stages sum %.9f != histogram sum %.9f (delta %g)",
+					e2eStages, e2eHist.Sum(), e2eStages-e2eHist.Sum())
+			}
+			// The in-process report agrees with the exported counters.
+			if math.Abs(res.CritPath.TTFTSum()-ttftStages) > 1e-6 {
+				t.Errorf("report TTFT sum %.9f != counter sum %.9f",
+					res.CritPath.TTFTSum(), ttftStages)
+			}
+			if math.Abs(res.CritPath.E2ESum()-e2eStages) > 1e-6 {
+				t.Errorf("report E2E sum %.9f != counter sum %.9f",
+					res.CritPath.E2ESum(), e2eStages)
+			}
+		})
+	}
+}
+
+// TestCritPathReportDeterministic: the tracestat-style report and the
+// OpenMetrics exposition must be byte-identical across same-seed runs.
+func TestCritPathReportDeterministic(t *testing.T) {
+	res1, _, om1, _ := critRun(t, "heroserve")
+	res2, _, om2, _ := critRun(t, "heroserve")
+	var r1, r2 bytes.Buffer
+	if err := res1.CritPath.Fprint(&r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := res2.CritPath.Fprint(&r2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1.Bytes(), r2.Bytes()) {
+		t.Error("critical-path reports differ across same-seed runs")
+	}
+	if !bytes.Equal(om1, om2) {
+		t.Error("OpenMetrics expositions differ across same-seed runs")
+	}
+}
+
+// TestExemplarsResolveToTraceSpans: every exemplar trace ID in the
+// exposition must name a real request span in the same run's trace export —
+// the linkage that lets a dashboard jump from a latency bucket to the span.
+func TestExemplarsResolveToTraceSpans(t *testing.T) {
+	_, _, om, spans := critRun(t, "heroserve")
+
+	exRe := regexp.MustCompile(`# \{trace_id="([^"]+)"\}`)
+	exemplars := map[string]bool{}
+	for _, m := range exRe.FindAllSubmatch(om, -1) {
+		exemplars[string(m[1])] = true
+	}
+	if len(exemplars) == 0 {
+		t.Fatal("exposition has no exemplars")
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(spans, &doc); err != nil {
+		t.Fatal(err)
+	}
+	spanIDs := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "request" {
+			if id, ok := e.Args["trace_id"].(string); ok {
+				spanIDs[id] = true
+			}
+		}
+	}
+	for id := range exemplars {
+		if !spanIDs[id] {
+			t.Errorf("exemplar trace ID %q has no request span in the trace export", id)
+		}
+	}
+}

@@ -32,7 +32,7 @@ func (f forcedScheme) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps int
 	if scheme.UsesINA() && ctx.Switch < 0 {
 		scheme = collective.SchemeRing
 	}
-	ctx.Comm.AllReduce(scheme, ctx.Group, ctx.Switch, msgBytes, steps, done)
+	ctx.Comm.AllReduceTagged(scheme, ctx.Group, ctx.Switch, msgBytes, steps, ctx.Reqs, done)
 }
 
 // AblationData runs the design-choice ablations DESIGN.md calls out, all on

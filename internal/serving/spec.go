@@ -17,6 +17,7 @@ import (
 	"heroserve/internal/netsim"
 	"heroserve/internal/stats"
 	"heroserve/internal/telemetry"
+	"heroserve/internal/telemetry/critpath"
 	"heroserve/internal/topology"
 )
 
@@ -177,6 +178,11 @@ type GroupCtx struct {
 	Group  []topology.NodeID
 	Switch topology.NodeID   // planner's V_ina suggestion, -1 if none
 	Scheme collective.Scheme // planner's alpha/beta suggestion
+	// Reqs lists the IDs of the requests in the batch this synchronization
+	// serves, in ascending order. Policies thread it onto the collective span
+	// ("reqs" arg) so the critical-path analyzer can attribute comm time to
+	// requests; empty when telemetry is off.
+	Reqs []int
 }
 
 // CommPolicy abstracts how a system synchronizes tensor-parallel groups.
@@ -203,7 +209,7 @@ func (PlannedPolicy) AllReduce(ctx *GroupCtx, msgBytes int64, steps int, done fu
 	if scheme.UsesINA() && ctx.Switch < 0 {
 		scheme = collective.SchemeRing
 	}
-	ctx.Comm.AllReduce(scheme, ctx.Group, ctx.Switch, msgBytes, steps, done)
+	ctx.Comm.AllReduceTagged(scheme, ctx.Group, ctx.Switch, msgBytes, steps, ctx.Reqs, done)
 }
 
 // SLA is the latency service-level agreement of a workload (§V).
@@ -286,6 +292,10 @@ type Results struct {
 	// active (equals all-GPUs x Duration when autoscaling is off).
 	ScaleEvents      []ScaleEvent
 	ActiveGPUSeconds float64
+
+	// CritPath is the run's critical-path report (per-stage TTFT/E2E
+	// decomposition and slowest requests), populated when telemetry is armed.
+	CritPath *critpath.Report
 }
 
 // TTFTs returns the TTFT sample.

@@ -3,6 +3,7 @@ package serving
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 
 	"heroserve/internal/collective"
@@ -12,6 +13,7 @@ import (
 	"heroserve/internal/sim"
 	"heroserve/internal/stats"
 	"heroserve/internal/telemetry"
+	"heroserve/internal/telemetry/critpath"
 	"heroserve/internal/topology"
 	"heroserve/internal/workload"
 )
@@ -41,6 +43,7 @@ type System struct {
 
 	// Telemetry (nil when off).
 	tel           *telemetry.Hub
+	crit          *critpath.Collector
 	telAdmitted   *telemetry.Counter
 	telCompleted  *telemetry.Counter
 	telSLAMet     *telemetry.Counter
@@ -161,6 +164,9 @@ func New(g *topology.Graph, dep Deployment, opts Options) (*System, error) {
 // fault instants, and the serving-level request/SLA/batching metrics.
 func (s *System) attachTelemetry(h *telemetry.Hub) {
 	s.tel = h
+	// Bind the critical-path collector before Attach so its tap observes the
+	// run's process_name metadata (it needs the pid→process mapping).
+	s.crit = critpath.Bind(h)
 	h.Attach(s.eng.Now, s.opts.Policy.Name())
 	s.net.SetTelemetry(h)
 	s.comm.SetTelemetry(h)
@@ -286,15 +292,38 @@ func (s *System) syncSteps(spec *InstanceSpec) int {
 	return steps
 }
 
-// groupCtx builds the CommPolicy context for a stage.
-func (s *System) groupCtx(spec *InstanceSpec, instance, stage int) *GroupCtx {
+// groupCtx builds the CommPolicy context for a stage. reqs is the batch's
+// request-ID membership (nil when telemetry is off).
+func (s *System) groupCtx(spec *InstanceSpec, instance, stage int, reqs []int) *GroupCtx {
 	return &GroupCtx{
 		Comm:   s.comm,
 		ID:     GroupID{Role: spec.Role, Instance: instance, Stage: stage},
 		Group:  spec.Stages[stage],
 		Switch: spec.stageSwitch(stage),
 		Scheme: spec.stageScheme(stage),
+		Reqs:   reqs,
 	}
+}
+
+// batchReqs returns the sorted request IDs of a batch for span attribution,
+// or nil when telemetry is off (no one would read them).
+func (s *System) batchReqs(batch []*request) []int {
+	if s.tel == nil || len(batch) == 0 {
+		return nil
+	}
+	ids := make([]int, len(batch))
+	for i, r := range batch {
+		ids[i] = r.req.ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// traceID returns the request's stable trace ID ("p<pid>-r<id>"): the trace
+// process scopes the ID to one run, keeping it unique when a daemon serves
+// many runs from one hub.
+func (s *System) traceID(r *request) string {
+	return fmt.Sprintf("p%d-r%d", s.tel.Trace.PID(), r.req.ID)
 }
 
 // Run replays the trace through the system and returns the results. It is
@@ -332,8 +361,15 @@ func (s *System) Run(trace *workload.Trace) *Results {
 		res.ActiveGPUSeconds = float64(gpus) * res.Duration
 		s.telGPUSeconds.Add(res.ActiveGPUSeconds)
 	}
+	if s.crit != nil {
+		res.CritPath = s.crit.Analyzer.Report(critpathTopN)
+		s.crit.Unbind(s.tel)
+	}
 	return res
 }
+
+// critpathTopN bounds the slowest-requests table in Results.CritPath.
+const critpathTopN = 10
 
 // admit routes an arriving request to the least-loaded prefill instance
 // (fewest queued tokens).
@@ -390,6 +426,7 @@ func (s *System) runPrefillStage(pi *prefillInstance, batch []*request, kin, kin
 		return
 	}
 	tc := pi.cm.Prefill(kin, kin2, spec.Ptens()) / float64(spec.Ppipe())
+	reqs := s.batchReqs(batch)
 	s.eng.After(tc, func() {
 		next := func() {
 			if stage+1 < spec.Ppipe() {
@@ -397,9 +434,13 @@ func (s *System) runPrefillStage(pi *prefillInstance, batch []*request, kin, kin
 				to := spec.Stages[stage+1][0]
 				bytes := s.dep.Model.PipelineActivationBytes(kin)
 				s.stageTransferCounter(stage + 1).Inc()
-				s.comm.TransferSpan("pipeline", "pipeline_stage", map[string]any{
+				args := map[string]any{
 					"stage": stage + 1, "instance": pi.id, "bytes": bytes,
-				}, from, to, bytes, func() {
+				}
+				if len(reqs) > 0 {
+					args["reqs"] = reqs
+				}
+				s.comm.TransferSpan("pipeline", "pipeline_stage", args, from, to, bytes, func() {
 					s.runPrefillStage(pi, batch, kin, kin2, stage+1)
 				})
 				return
@@ -410,7 +451,7 @@ func (s *System) runPrefillStage(pi *prefillInstance, batch []*request, kin, kin
 			next()
 			return
 		}
-		ctx := s.groupCtx(spec, pi.id, stage)
+		ctx := s.groupCtx(spec, pi.id, stage, reqs)
 		s.opts.Policy.AllReduce(ctx, s.dep.Model.SyncBytes(kin), s.syncSteps(spec), next)
 	})
 }
@@ -539,6 +580,7 @@ func (s *System) iterate(di *decodeInstance) {
 		}
 		msg := s.dep.Model.SyncBytes(int64(len(di.running)))
 		steps := s.syncSteps(spec)
+		reqs := s.batchReqs(di.running)
 		remaining := spec.Ppipe()
 		done := func() {
 			remaining--
@@ -547,7 +589,7 @@ func (s *System) iterate(di *decodeInstance) {
 			}
 		}
 		for st := 0; st < spec.Ppipe(); st++ {
-			ctx := s.groupCtx(spec, di.id, st)
+			ctx := s.groupCtx(spec, di.id, st, reqs)
 			s.opts.Policy.AllReduce(ctx, msg, steps, done)
 		}
 	})
@@ -600,9 +642,10 @@ func (s *System) complete(r *request) {
 		return
 	}
 	s.telCompleted.Inc()
-	s.telTTFT.Observe(ttft)
-	s.telTPOT.Observe(tpot)
-	s.telE2E.Observe(now - r.req.Arrival)
+	tid := s.traceID(r)
+	s.telTTFT.ObserveTraced(ttft, tid)
+	s.telTPOT.ObserveTraced(tpot, tid)
+	s.telE2E.ObserveTraced(now-r.req.Arrival, tid)
 	if s.opts.SLA != nil {
 		// Exactly the Results.Attainment criterion, so the exported verdict
 		// counters reproduce the run's attainment bit-for-bit.
@@ -624,13 +667,15 @@ func (s *System) emitRequestSpans(r *request, now sim.Time) {
 	tid := r.req.ID + 1
 	tr.Complete(tid, "request", "request", r.req.Arrival, now, map[string]any{
 		"id": r.req.ID, "input": r.req.Input, "output": r.req.Output,
+		"trace_id": s.traceID(r),
 	})
-	tr.Complete(tid, "request", "queue", r.req.Arrival, r.prefillStart, nil)
-	tr.Complete(tid, "request", "prefill", r.prefillStart, r.firstTokenAt, nil)
-	tr.Complete(tid, "request", "kv-transfer", r.firstTokenAt, r.kvArrivedAt, nil)
+	reqArg := map[string]any{"req": r.req.ID}
+	tr.Complete(tid, "request", "queue", r.req.Arrival, r.prefillStart, reqArg)
+	tr.Complete(tid, "request", "prefill", r.prefillStart, r.firstTokenAt, reqArg)
+	tr.Complete(tid, "request", "kv-transfer", r.firstTokenAt, r.kvArrivedAt, reqArg)
 	if r.req.Output > 1 {
 		tr.Complete(tid, "request", "decode", r.kvArrivedAt, now,
-			map[string]any{"tokens": r.generated})
+			map[string]any{"req": r.req.ID, "tokens": r.generated})
 	}
 }
 

@@ -1,0 +1,478 @@
+// Package critpath reconstructs per-request span trees from the telemetry
+// trace-event stream and decomposes each request's TTFT and end-to-end
+// latency into critical-path stage contributions: queue wait, prefill
+// compute, all-reduce communication by scheme, pipeline activation
+// transfers, KV-cache migration, decode compute, and fault stalls.
+//
+// The input is the deterministic event stream the serving simulator emits
+// (PR 2/3): request lifecycle spans on per-request threads, all-reduce and
+// pipeline_stage async spans tagged with the request IDs they serve (this
+// PR), and fault instants on the control-plane track. The analyzer consumes
+// events one at a time — either live, tapped off the Tracer, or offline from
+// a parsed spans.json — so it works identically on buffered and streaming
+// backends.
+//
+// The decomposition is an exact partition: within each request window the
+// elementary time segments are attributed to exactly one stage (communication
+// beats transfers beats fault stalls beats compute), so the per-stage
+// contributions of a request sum to its TTFT / end-to-end latency to within
+// floating-point rounding. That identity is what lets the aggregate
+// ttft_critical_path_seconds_total{stage} counters be cross-checked against
+// the ttft_seconds histogram sum.
+package critpath
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"heroserve/internal/telemetry"
+)
+
+// Stage labels of the critical-path decomposition. All-reduce communication
+// is labeled "allreduce-<scheme>" (see StageAllReduce).
+const (
+	StageQueue          = "queue"
+	StagePrefillCompute = "prefill-compute"
+	StagePipeline       = "pipeline-transfer"
+	StageKVTransfer     = "kv-transfer"
+	StageDecodeCompute  = "decode-compute"
+	StageFaultStall     = "fault-stall"
+)
+
+// StageAllReduce returns the stage label of all-reduce time under the given
+// communication scheme (e.g. "allreduce-ring", "allreduce-ina-hetero").
+func StageAllReduce(scheme string) string { return "allreduce-" + scheme }
+
+// stageOrder fixes the canonical report ordering of the known stages; labels
+// outside this list sort alphabetically after it.
+var stageOrder = []string{
+	StageQueue,
+	StagePrefillCompute,
+	"allreduce-ring",
+	"allreduce-ina-sync",
+	"allreduce-ina-async",
+	"allreduce-ina-hetero",
+	StagePipeline,
+	StageKVTransfer,
+	StageDecodeCompute,
+	StageFaultStall,
+}
+
+// Breakdown is one finalized request's critical-path decomposition. Stage
+// maps hold seconds and omit zero contributions; TTFTStages is a subset view
+// (queue + prefill window), E2EStages covers the whole request.
+type Breakdown struct {
+	PID        int
+	Req        int
+	TraceID    string
+	Arrival    float64 // seconds of sim-time
+	TTFT       float64 // sum of TTFTStages
+	E2E        float64 // sum of E2EStages
+	TTFTStages map[string]float64
+	E2EStages  map[string]float64
+}
+
+// DominantStage returns the stage with the largest end-to-end contribution
+// (ties break in canonical stage order).
+func (b *Breakdown) DominantStage() string {
+	best, bestV := "", -1.0
+	for _, s := range sortStages(b.E2EStages) {
+		if v := b.E2EStages[s]; v > bestV {
+			best, bestV = s, v
+		}
+	}
+	return best
+}
+
+// interval is one attributable time range in microseconds of sim-time, with
+// the stage label it carries.
+type interval struct {
+	start, end float64
+	stage      string
+}
+
+// window is one request lifecycle phase parsed from a complete (X) span.
+type window struct {
+	start, end float64
+	seen       bool
+}
+
+// reqState accumulates one in-flight request's evidence until it finalizes.
+type reqState struct {
+	traceID                    string
+	output                     int
+	hasSpan                    bool // the parent "request" span arrived
+	queue, prefill, kv, decode window
+	comm                       []interval // all-reduce spans tagged with this request, by scheme
+	pipe                       []interval // pipeline_stage spans tagged with this request
+}
+
+// openSpan is an in-flight async (b/e) span.
+type openSpan struct {
+	start  float64
+	scheme string
+	reqs   []int
+}
+
+type spanKey struct {
+	pid  int
+	cat  string
+	id   string
+	name string
+}
+
+type reqKey struct {
+	pid int
+	req int
+}
+
+// Analyzer consumes trace events and produces per-request breakdowns.
+type Analyzer struct {
+	procs   map[int]string
+	open    map[spanKey]*openSpan
+	reqs    map[reqKey]*reqState
+	faults  map[int][]interval // fault-active windows per process
+	done    []Breakdown        // finalized, in completion order
+	onFinal func(Breakdown)
+}
+
+// New returns an empty analyzer.
+func New() *Analyzer {
+	return &Analyzer{
+		procs:  make(map[int]string),
+		open:   make(map[spanKey]*openSpan),
+		reqs:   make(map[reqKey]*reqState),
+		faults: make(map[int][]interval),
+	}
+}
+
+// OnFinalize installs fn to run on every request the moment its breakdown is
+// complete (the live collector bumps registry counters here).
+func (a *Analyzer) OnFinalize(fn func(Breakdown)) { a.onFinal = fn }
+
+// Finalized returns the breakdowns completed so far, in completion order
+// (which the deterministic event loop makes deterministic).
+func (a *Analyzer) Finalized() []Breakdown { return a.done }
+
+// Process returns the trace process name of a pid ("" if unknown).
+func (a *Analyzer) Process(pid int) string { return a.procs[pid] }
+
+// Feed consumes one trace event. Events must arrive in emit order.
+func (a *Analyzer) Feed(ev telemetry.Event) {
+	switch ev.Ph {
+	case "M":
+		if ev.Name == "process_name" {
+			if n, ok := ev.Args["name"].(string); ok {
+				a.procs[ev.Pid] = n
+			}
+		}
+	case "b":
+		if ev.Name != "allreduce" && ev.Name != "pipeline_stage" {
+			return
+		}
+		reqs := asInts(ev.Args["reqs"])
+		if len(reqs) == 0 {
+			return
+		}
+		scheme, _ := ev.Args["scheme"].(string)
+		a.open[spanKey{ev.Pid, ev.Cat, ev.ID, ev.Name}] = &openSpan{start: ev.Ts, scheme: scheme, reqs: reqs}
+	case "e":
+		key := spanKey{ev.Pid, ev.Cat, ev.ID, ev.Name}
+		sp, ok := a.open[key]
+		if !ok {
+			return
+		}
+		delete(a.open, key)
+		for _, req := range sp.reqs {
+			rs := a.req(reqKey{ev.Pid, req})
+			iv := interval{start: sp.start, end: ev.Ts}
+			if ev.Name == "pipeline_stage" {
+				rs.pipe = append(rs.pipe, iv)
+			} else {
+				iv.stage = StageAllReduce(sp.scheme)
+				rs.comm = append(rs.comm, iv)
+			}
+		}
+	case "i":
+		if ev.Cat != "fault" || strings.HasSuffix(ev.Name, "-recovered") {
+			return
+		}
+		// Injection instants carry the fault's duration; the active window is
+		// [ts, ts + duration].
+		if d, ok := asFloat(ev.Args["duration"]); ok && d > 0 {
+			a.faults[ev.Pid] = append(a.faults[ev.Pid],
+				interval{start: ev.Ts, end: ev.Ts + d*1e6, stage: StageFaultStall})
+		}
+	case "X":
+		if ev.Cat != "request" {
+			return
+		}
+		a.feedRequestSpan(ev)
+	}
+}
+
+// feedRequestSpan ingests one request lifecycle span. The serving simulator
+// emits them at completion time, parent first: request, queue, prefill,
+// kv-transfer, then decode (multi-token requests only) — so the request
+// finalizes on its last expected child.
+func (a *Analyzer) feedRequestSpan(ev telemetry.Event) {
+	end := ev.Ts
+	if ev.Dur != nil {
+		end += *ev.Dur
+	}
+	if ev.Name == "request" {
+		id, ok := asInt(ev.Args["id"])
+		if !ok {
+			return
+		}
+		rs := a.req(reqKey{ev.Pid, id})
+		rs.hasSpan = true
+		if tid, ok := ev.Args["trace_id"].(string); ok {
+			rs.traceID = tid
+		}
+		if out, ok := asInt(ev.Args["output"]); ok {
+			rs.output = out
+		}
+		return
+	}
+	id, ok := asInt(ev.Args["req"])
+	if !ok {
+		return
+	}
+	key := reqKey{ev.Pid, id}
+	rs := a.req(key)
+	w := window{start: ev.Ts, end: end, seen: true}
+	switch ev.Name {
+	case "queue":
+		rs.queue = w
+	case "prefill":
+		rs.prefill = w
+	case "kv-transfer":
+		rs.kv = w
+		if rs.hasSpan && rs.output <= 1 {
+			a.finalize(key, rs)
+		}
+	case "decode":
+		rs.decode = w
+		if rs.hasSpan {
+			a.finalize(key, rs)
+		}
+	}
+}
+
+func (a *Analyzer) req(k reqKey) *reqState {
+	rs, ok := a.reqs[k]
+	if !ok {
+		rs = &reqState{}
+		a.reqs[k] = rs
+	}
+	return rs
+}
+
+// finalize partitions the request's windows into stage contributions and
+// publishes the breakdown.
+func (a *Analyzer) finalize(k reqKey, rs *reqState) {
+	delete(a.reqs, k)
+	if !rs.queue.seen || !rs.prefill.seen || !rs.kv.seen {
+		return // malformed/truncated trace; nothing trustworthy to report
+	}
+	faults := a.faults[k.pid]
+	b := Breakdown{
+		PID:        k.pid,
+		Req:        k.req,
+		TraceID:    rs.traceID,
+		Arrival:    rs.queue.start / 1e6,
+		TTFTStages: make(map[string]float64),
+		E2EStages:  make(map[string]float64),
+	}
+	addStage(b.TTFTStages, StageQueue, rs.queue.end-rs.queue.start)
+	partition(b.TTFTStages, rs.prefill, StagePrefillCompute, rs.comm, rs.pipe, faults)
+	for s, v := range b.TTFTStages {
+		b.E2EStages[s] = v
+	}
+	addStage(b.E2EStages, StageKVTransfer, rs.kv.end-rs.kv.start)
+	if rs.decode.seen {
+		partition(b.E2EStages, rs.decode, StageDecodeCompute, rs.comm, nil, faults)
+	}
+	// Convert usec → seconds; TTFT/E2E are the plain stage sums, so the
+	// decomposition identity holds by construction.
+	for s, v := range b.TTFTStages {
+		b.TTFTStages[s] = v / 1e6
+		b.TTFT += v / 1e6
+	}
+	for s, v := range b.E2EStages {
+		b.E2EStages[s] = v / 1e6
+		b.E2E += v / 1e6
+	}
+	a.done = append(a.done, b)
+	if a.onFinal != nil {
+		a.onFinal(b)
+	}
+}
+
+// addStage accumulates a (non-negative, nonzero) contribution in usec.
+func addStage(m map[string]float64, stage string, d float64) {
+	if d > 0 {
+		m[stage] += d
+	}
+}
+
+// partition attributes every elementary segment of the window to exactly one
+// stage: all-reduce communication first (overlapping schemes break ties in
+// canonical order), then pipeline transfers, then fault stalls, then the
+// residual compute stage. The attributed durations sum to the window length.
+func partition(out map[string]float64, w window, computeStage string, comm, pipe, faults []interval) {
+	type clipped struct {
+		interval
+		prio int // lower wins
+	}
+	var spans []clipped
+	add := func(ivs []interval, prio int, stage string) {
+		for _, iv := range ivs {
+			s, e := iv.start, iv.end
+			if s < w.start {
+				s = w.start
+			}
+			if e > w.end {
+				e = w.end
+			}
+			if e <= s {
+				continue
+			}
+			st := iv.stage
+			if stage != "" {
+				st = stage
+			}
+			spans = append(spans, clipped{interval{s, e, st}, prio})
+		}
+	}
+	add(comm, 0, "")
+	add(pipe, 1, StagePipeline)
+	add(faults, 2, "")
+	if len(spans) == 0 {
+		addStage(out, computeStage, w.end-w.start)
+		return
+	}
+	// Elementary segments between sorted boundary points.
+	pts := make([]float64, 0, 2*len(spans)+2)
+	pts = append(pts, w.start, w.end)
+	for _, sp := range spans {
+		pts = append(pts, sp.start, sp.end)
+	}
+	sort.Float64s(pts)
+	for i := 0; i+1 < len(pts); i++ {
+		s, e := pts[i], pts[i+1]
+		if e <= s {
+			continue
+		}
+		mid := s + (e-s)/2
+		stage := computeStage
+		bestPrio := 1 << 30
+		bestRank := 1 << 30
+		for _, sp := range spans {
+			if sp.start <= mid && mid < sp.end {
+				rank := stageRank(sp.stage)
+				if sp.prio < bestPrio || (sp.prio == bestPrio && rank < bestRank) {
+					bestPrio, bestRank, stage = sp.prio, rank, sp.stage
+				}
+			}
+		}
+		addStage(out, stage, e-s)
+	}
+}
+
+// stageRank orders stage labels canonically (unknown labels after known, by
+// name).
+func stageRank(stage string) int {
+	for i, s := range stageOrder {
+		if s == stage {
+			return i
+		}
+	}
+	// Unknown stages rank after the canonical list, alphabetically via a
+	// stable large offset on the first byte (cheap and deterministic).
+	r := len(stageOrder)
+	if stage != "" {
+		r += int(stage[0])
+	}
+	return r
+}
+
+// sortStages returns the map's keys in canonical order.
+func sortStages(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ri, rj := stageRank(keys[i]), stageRank(keys[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// asInt coerces a trace-arg value (int on the live path, float64 after a
+// JSON round trip) to int.
+func asInt(v any) (int, bool) {
+	switch x := v.(type) {
+	case int:
+		return x, true
+	case int64:
+		return int(x), true
+	case float64:
+		return int(x), true
+	}
+	return 0, false
+}
+
+// asFloat coerces a trace-arg value to float64.
+func asFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// asInts coerces a trace-arg value ([]int live, []any parsed) to []int.
+func asInts(v any) []int {
+	switch x := v.(type) {
+	case []int:
+		return x
+	case []any:
+		out := make([]int, 0, len(x))
+		for _, e := range x {
+			if i, ok := asInt(e); ok {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// FromTrace feeds every event of a Chrome trace-event JSON document (the
+// Tracer export format) through a fresh analyzer.
+func FromTrace(r io.Reader) (*Analyzer, error) {
+	events, err := decodeTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	a := New()
+	for _, ev := range events {
+		a.Feed(ev)
+	}
+	return a, nil
+}
+
+// ErrNoEvents reports an empty or span-free trace document.
+var ErrNoEvents = fmt.Errorf("critpath: trace document has no events")

@@ -1,0 +1,260 @@
+package critpath
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"heroserve/internal/telemetry"
+)
+
+// synthetic emits one request's lifecycle through a tracer tapped by an
+// analyzer: queue [0,1), prefill [1,3) with an allreduce [1.5,2) and a
+// pipeline transfer [2,2.5), kv [3,4), decode [4,8) with an allreduce
+// [5,6) and a fault stall [6.5,7).
+func synthetic(t *testing.T) *Analyzer {
+	t.Helper()
+	clock := 0.0
+	tr := telemetry.NewTracer(func() float64 { return clock })
+	a := New()
+	tr.Tap(a.Feed)
+	tr.BeginProcess("planned")
+
+	clock = 1.5
+	tr.AsyncBegin("collective", "allreduce", 1,
+		map[string]any{"scheme": "ring", "reqs": []int{0}})
+	clock = 2.0
+	tr.AsyncEnd("collective", "allreduce", 1)
+	tr.AsyncBegin("pipeline", "pipeline_stage", 2,
+		map[string]any{"stage": 2, "reqs": []int{0}})
+	clock = 2.5
+	tr.AsyncEnd("pipeline", "pipeline_stage", 2)
+	clock = 5.0
+	tr.AsyncBegin("collective", "allreduce", 3,
+		map[string]any{"scheme": "ina-hetero", "reqs": []int{0}})
+	clock = 6.0
+	tr.AsyncEnd("collective", "allreduce", 3)
+	tr.InstantAt(6.5, telemetry.ControlTID, "fault", "link-degrade",
+		map[string]any{"duration": 0.5})
+
+	// Completion-time span emission, parent first (mirrors emitRequestSpans).
+	tr.Complete(1, "request", "request", 0, 8, map[string]any{
+		"id": 0, "input": 100, "output": 5, "trace_id": "p1-r0"})
+	req := map[string]any{"req": 0}
+	tr.Complete(1, "request", "queue", 0, 1, req)
+	tr.Complete(1, "request", "prefill", 1, 3, req)
+	tr.Complete(1, "request", "kv-transfer", 3, 4, req)
+	tr.Complete(1, "request", "decode", 4, 8, map[string]any{"req": 0, "tokens": 4})
+	return a
+}
+
+func TestAnalyzerDecomposition(t *testing.T) {
+	a := synthetic(t)
+	done := a.Finalized()
+	if len(done) != 1 {
+		t.Fatalf("finalized %d requests, want 1", len(done))
+	}
+	b := done[0]
+	if b.TraceID != "p1-r0" || b.PID != 1 || b.Req != 0 {
+		t.Errorf("identity = %+v", b)
+	}
+	wantTTFT := map[string]float64{
+		StageQueue:          1.0,
+		StagePrefillCompute: 1.0, // [1,1.5) + [2.5,3)
+		"allreduce-ring":    0.5,
+		StagePipeline:       0.5,
+	}
+	for s, want := range wantTTFT {
+		if got := b.TTFTStages[s]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("ttft[%s] = %v, want %v", s, got, want)
+		}
+	}
+	if len(b.TTFTStages) != len(wantTTFT) {
+		t.Errorf("ttft stages = %v", b.TTFTStages)
+	}
+	wantE2E := map[string]float64{
+		StageQueue:             1.0,
+		StagePrefillCompute:    1.0,
+		"allreduce-ring":       0.5,
+		StagePipeline:          0.5,
+		StageKVTransfer:        1.0,
+		"allreduce-ina-hetero": 1.0,
+		StageFaultStall:        0.5,
+		StageDecodeCompute:     2.5, // [4,5) + [6,6.5) + [7,8)
+	}
+	for s, want := range wantE2E {
+		if got := b.E2EStages[s]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("e2e[%s] = %v, want %v", s, got, want)
+		}
+	}
+	// The partition identity: stages telescope to TTFT and E2E exactly.
+	if math.Abs(b.TTFT-3.0) > 1e-9 || math.Abs(b.E2E-8.0) > 1e-9 {
+		t.Errorf("TTFT=%v E2E=%v, want 3, 8", b.TTFT, b.E2E)
+	}
+	var sum float64
+	for _, v := range b.E2EStages {
+		sum += v
+	}
+	if math.Abs(sum-b.E2E) > 1e-9 {
+		t.Errorf("stage sum %v != E2E %v", sum, b.E2E)
+	}
+}
+
+// TestAnalyzerCommBeatsFault: when an allreduce overlaps a fault window, the
+// time is charged to communication (the fault's effect is visible as a longer
+// allreduce), never double-counted.
+func TestAnalyzerCommBeatsFault(t *testing.T) {
+	clock := 0.0
+	tr := telemetry.NewTracer(func() float64 { return clock })
+	a := New()
+	tr.Tap(a.Feed)
+	tr.BeginProcess("planned")
+	tr.InstantAt(1.0, telemetry.ControlTID, "fault", "link-degrade",
+		map[string]any{"duration": 2.0}) // fault [1,3)
+	clock = 1.5
+	tr.AsyncBegin("collective", "allreduce", 1,
+		map[string]any{"scheme": "ring", "reqs": []int{7}})
+	clock = 2.5
+	tr.AsyncEnd("collective", "allreduce", 1)
+	tr.Complete(8, "request", "request", 0, 4, map[string]any{
+		"id": 7, "output": 1, "trace_id": "p1-r7"})
+	req := map[string]any{"req": 7}
+	tr.Complete(8, "request", "queue", 0, 0.5, req)
+	tr.Complete(8, "request", "prefill", 0.5, 3.5, req)
+	tr.Complete(8, "request", "kv-transfer", 3.5, 4, req) // output<=1: finalizes here
+
+	done := a.Finalized()
+	if len(done) != 1 {
+		t.Fatalf("finalized %d, want 1 (single-token requests finalize on kv-transfer)", len(done))
+	}
+	b := done[0]
+	want := map[string]float64{
+		StageQueue:          0.5,
+		"allreduce-ring":    1.0, // [1.5,2.5): comm wins over the overlapping fault
+		StageFaultStall:     1.0, // [1,1.5) + [2.5,3)
+		StagePrefillCompute: 1.0, // [0.5,1) + [3,3.5)
+		StageKVTransfer:     0.5,
+	}
+	for s, w := range want {
+		if got := b.E2EStages[s]; math.Abs(got-w) > 1e-9 {
+			t.Errorf("e2e[%s] = %v, want %v", s, got, w)
+		}
+	}
+	if math.Abs(b.E2E-4.0) > 1e-9 {
+		t.Errorf("E2E = %v, want 4", b.E2E)
+	}
+}
+
+func TestAnalyzerIgnoresUntaggedSpans(t *testing.T) {
+	clock := 0.0
+	tr := telemetry.NewTracer(func() float64 { return clock })
+	a := New()
+	tr.Tap(a.Feed)
+	tr.BeginProcess("planned")
+	// Untagged allreduce (telemetry from a non-serving benchmark): no reqs.
+	clock = 1.0
+	tr.AsyncBegin("collective", "allreduce", 1, map[string]any{"scheme": "ring"})
+	clock = 2.0
+	tr.AsyncEnd("collective", "allreduce", 1)
+	tr.Complete(1, "request", "request", 0, 3, map[string]any{"id": 0, "output": 1, "trace_id": "p1-r0"})
+	req := map[string]any{"req": 0}
+	tr.Complete(1, "request", "queue", 0, 0, req)
+	tr.Complete(1, "request", "prefill", 0, 2.5, req)
+	tr.Complete(1, "request", "kv-transfer", 2.5, 3, req)
+	b := a.Finalized()
+	if len(b) != 1 {
+		t.Fatalf("finalized %d", len(b))
+	}
+	if got := b[0].E2EStages[StagePrefillCompute]; math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("untagged comm must fall to compute, prefill=%v", got)
+	}
+}
+
+func TestReportDeterminismAndDiff(t *testing.T) {
+	render := func() string {
+		var b bytes.Buffer
+		if err := synthetic(t).Report(10).Fprint(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	r1, r2 := render(), render()
+	if r1 != r2 {
+		t.Fatalf("report not byte-deterministic:\n%s\n---\n%s", r1, r2)
+	}
+	if !strings.Contains(r1, "p1-r0") {
+		t.Errorf("slowest table missing trace id:\n%s", r1)
+	}
+
+	var d bytes.Buffer
+	if err := FprintDiff(&d, synthetic(t).Report(10), synthetic(t).Report(10)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.String(), "delta +0.000000s") {
+		t.Errorf("self-diff should be zero:\n%s", d.String())
+	}
+}
+
+// TestFromTraceRoundTrip: analyzing a trace offline (through the JSON
+// export) must produce the same breakdown as the live tap.
+func TestFromTraceRoundTrip(t *testing.T) {
+	clock := 0.0
+	tr := telemetry.NewTracer(func() float64 { return clock })
+	live := New()
+	tr.Tap(live.Feed)
+	tr.BeginProcess("planned")
+	clock = 1.0
+	tr.AsyncBegin("collective", "allreduce", 1, map[string]any{"scheme": "ina-sync", "reqs": []int{0, 1}})
+	clock = 1.5
+	tr.AsyncEnd("collective", "allreduce", 1)
+	for id := 0; id < 2; id++ {
+		tid := id + 1
+		tr.Complete(tid, "request", "request", 0, 3, map[string]any{
+			"id": id, "output": 1, "trace_id": "p1-r" + string(rune('0'+id))})
+		req := map[string]any{"req": id}
+		tr.Complete(tid, "request", "queue", 0, 0.5, req)
+		tr.Complete(tid, "request", "prefill", 0.5, 2, req)
+		tr.Complete(tid, "request", "kv-transfer", 2, 3, req)
+	}
+
+	var doc bytes.Buffer
+	if err := tr.Export(&doc); err != nil {
+		t.Fatal(err)
+	}
+	offline, err := FromTrace(&doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offline.Process(1) != "planned" {
+		t.Errorf("process name lost in round trip: %q", offline.Process(1))
+	}
+
+	lr, or := live.Report(10), offline.Report(10)
+	var lb, ob bytes.Buffer
+	if err := lr.Fprint(&lb); err != nil {
+		t.Fatal(err)
+	}
+	if err := or.Fprint(&ob); err != nil {
+		t.Fatal(err)
+	}
+	if lb.String() != ob.String() {
+		t.Fatalf("live vs offline mismatch:\n%s\n---\n%s", lb.String(), ob.String())
+	}
+	// Both requests share the allreduce: each is charged the full 0.5s (the
+	// span was on each one's critical path).
+	for _, b := range or.Slowest {
+		if got := b.E2EStages["allreduce-ina-sync"]; math.Abs(got-0.5) > 1e-9 {
+			t.Errorf("req %d allreduce share = %v, want 0.5", b.Req, got)
+		}
+	}
+}
+
+func TestFromTraceErrors(t *testing.T) {
+	if _, err := FromTrace(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON should error")
+	}
+	if _, err := FromTrace(strings.NewReader(`{"traceEvents":[]}`)); err != ErrNoEvents {
+		t.Errorf("empty trace error = %v, want ErrNoEvents", err)
+	}
+}

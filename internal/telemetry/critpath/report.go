@@ -1,0 +1,125 @@
+package critpath
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Report is the aggregate critical-path view of one run: per-stage totals
+// across all finalized requests plus the slowest-N requests by end-to-end
+// latency. All fields are deterministic for a deterministic event stream.
+type Report struct {
+	Requests  int                `json:"requests"`
+	TTFTTotal map[string]float64 `json:"ttft_total_seconds"`
+	E2ETotal  map[string]float64 `json:"e2e_total_seconds"`
+	Slowest   []Breakdown        `json:"slowest"`
+}
+
+// Report aggregates the analyzer's finalized breakdowns, keeping the topN
+// slowest requests (by E2E, ties broken by pid then request ID for
+// determinism).
+func (a *Analyzer) Report(topN int) *Report {
+	r := &Report{
+		Requests:  len(a.done),
+		TTFTTotal: make(map[string]float64),
+		E2ETotal:  make(map[string]float64),
+	}
+	for _, b := range a.done {
+		for s, v := range b.TTFTStages {
+			r.TTFTTotal[s] += v
+		}
+		for s, v := range b.E2EStages {
+			r.E2ETotal[s] += v
+		}
+	}
+	slow := append([]Breakdown(nil), a.done...)
+	sort.Slice(slow, func(i, j int) bool {
+		if slow[i].E2E != slow[j].E2E {
+			return slow[i].E2E > slow[j].E2E
+		}
+		if slow[i].PID != slow[j].PID {
+			return slow[i].PID < slow[j].PID
+		}
+		return slow[i].Req < slow[j].Req
+	})
+	if topN > 0 && len(slow) > topN {
+		slow = slow[:topN]
+	}
+	r.Slowest = slow
+	return r
+}
+
+// TTFTSum returns the sum of all per-stage TTFT contributions — by the
+// partition identity, equal (within rounding) to the run's total TTFT.
+func (r *Report) TTFTSum() float64 { return mapSum(r.TTFTTotal) }
+
+// E2ESum returns the sum of all per-stage E2E contributions.
+func (r *Report) E2ESum() float64 { return mapSum(r.E2ETotal) }
+
+func mapSum(m map[string]float64) float64 {
+	// Sum in canonical stage order so the result is deterministic (map
+	// iteration order is not, and float addition does not commute exactly).
+	var s float64
+	for _, k := range sortStages(m) {
+		s += m[k]
+	}
+	return s
+}
+
+// Fprint writes the report as a deterministic plain-text table: the stage
+// breakdown (stage, E2E seconds, share, TTFT seconds) followed by the
+// slowest-requests table.
+func (r *Report) Fprint(w io.Writer) error {
+	e2e := r.E2ESum()
+	if _, err := fmt.Fprintf(w, "critical-path breakdown (%d requests, e2e %.6fs, ttft %.6fs)\n",
+		r.Requests, e2e, r.TTFTSum()); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-22s %14s %8s %14s\n", "stage", "e2e_s", "share", "ttft_s")
+	for _, s := range sortStages(r.E2ETotal) {
+		share := 0.0
+		if e2e > 0 {
+			share = r.E2ETotal[s] / e2e
+		}
+		fmt.Fprintf(w, "%-22s %14.6f %7.2f%% %14.6f\n", s, r.E2ETotal[s], 100*share, r.TTFTTotal[s])
+	}
+	if len(r.Slowest) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "\nslowest %d requests\n", len(r.Slowest))
+	fmt.Fprintf(w, "%-12s %10s %12s %12s  %s\n", "trace_id", "arrival_s", "ttft_s", "e2e_s", "dominant")
+	for _, b := range r.Slowest {
+		id := b.TraceID
+		if id == "" {
+			id = fmt.Sprintf("p%d-r%d", b.PID, b.Req)
+		}
+		dom := b.DominantStage()
+		fmt.Fprintf(w, "%-12s %10.4f %12.6f %12.6f  %s (%.6fs)\n",
+			id, b.Arrival, b.TTFT, b.E2E, dom, b.E2EStages[dom])
+	}
+	return nil
+}
+
+// FprintDiff writes a deterministic per-stage comparison of two reports
+// (run A vs run B): absolute E2E stage totals and their delta, so a policy
+// change's effect can be localized to the stage it moved.
+func FprintDiff(w io.Writer, a, b *Report) error {
+	if _, err := fmt.Fprintf(w, "critical-path diff: A=%d reqs e2e %.6fs | B=%d reqs e2e %.6fs | delta %+.6fs\n",
+		a.Requests, a.E2ESum(), b.Requests, b.E2ESum(), b.E2ESum()-a.E2ESum()); err != nil {
+		return err
+	}
+	union := make(map[string]float64)
+	for s := range a.E2ETotal {
+		union[s] = 1
+	}
+	for s := range b.E2ETotal {
+		union[s] = 1
+	}
+	fmt.Fprintf(w, "%-22s %14s %14s %14s\n", "stage", "a_e2e_s", "b_e2e_s", "delta_s")
+	for _, s := range sortStages(union) {
+		av, bv := a.E2ETotal[s], b.E2ETotal[s]
+		fmt.Fprintf(w, "%-22s %14.6f %14.6f %+14.6f\n", s, av, bv, bv-av)
+	}
+	return nil
+}

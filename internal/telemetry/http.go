@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -47,9 +50,11 @@ type Server struct {
 	simTime   float64
 	published int
 	prom      []byte
+	om        []byte // OpenMetrics rendering of the same snapshot
 	trace     []byte
 	traceFile string
 	runs      []RunSummary
+	snaps     [][]byte // per-run metric snapshots (index parallels runs), for /runs/diff
 }
 
 // NewServer returns an empty Server; install it as an http.Handler.
@@ -65,6 +70,10 @@ func (s *Server) PublishHub(h *Hub) error {
 	if err := h.Metrics.WriteProm(&prom); err != nil {
 		return err
 	}
+	var om bytes.Buffer
+	if err := h.Metrics.WriteOpenMetrics(&om); err != nil {
+		return err
+	}
 	var trace []byte
 	if !h.Trace.Streaming() {
 		var tb bytes.Buffer
@@ -77,17 +86,21 @@ func (s *Server) PublishHub(h *Hub) error {
 	s.simTime = h.Now()
 	s.published++
 	s.prom = prom.Bytes()
+	s.om = om.Bytes()
 	s.trace = trace
 	s.mu.Unlock()
 	return nil
 }
 
 // AddRun records a completed run for /runs, assigning it the next sequential
-// ID. Safe to call from the goroutine driving the runs.
+// ID, and captures the latest published metric snapshot as the run's state
+// for /runs/diff — so callers should PublishHub first, then AddRun. Safe to
+// call from the goroutine driving the runs.
 func (s *Server) AddRun(r RunSummary) {
 	s.mu.Lock()
 	r.ID = len(s.runs) + 1
 	s.runs = append(s.runs, r)
+	s.snaps = append(s.snaps, s.prom)
 	s.mu.Unlock()
 }
 
@@ -100,15 +113,17 @@ func (s *Server) SetTraceFile(path string) {
 	s.mu.Unlock()
 }
 
-// ServeHTTP routes the daemon's four endpoints.
+// ServeHTTP routes the daemon's endpoints.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/metrics":
-		s.serveMetrics(w)
+		s.serveMetrics(w, r)
 	case "/healthz":
 		s.serveHealthz(w)
 	case "/runs":
 		s.serveRuns(w)
+	case "/runs/diff":
+		s.serveRunsDiff(w, r)
 	case "/trace":
 		s.serveTrace(w)
 	default:
@@ -116,11 +131,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) serveMetrics(w http.ResponseWriter) {
+// serveMetrics content-negotiates between the classic Prometheus text format
+// and OpenMetrics: an Accept header mentioning application/openmetrics-text
+// gets the OpenMetrics rendering (with _created series and exemplars), which
+// is how real Prometheus servers opt in.
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	body := s.prom
+	body, om := s.prom, s.om
 	s.mu.RUnlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+		w.Write(om)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeProm)
 	w.Write(body)
 }
 
@@ -161,6 +185,102 @@ func (s *Server) serveTrace(w http.ResponseWriter) {
 	default:
 		http.Error(w, "no trace snapshot published yet", http.StatusNotFound)
 	}
+}
+
+// SeriesDiff is one metric series whose value differs between two runs.
+type SeriesDiff struct {
+	Series string  `json:"series"`
+	A      float64 `json:"a"`
+	B      float64 `json:"b"`
+	Delta  float64 `json:"delta"`
+}
+
+// RunsDiff is the /runs/diff response: the two run IDs, series present in
+// both snapshots with different values (sorted by series name), series
+// present in only one snapshot, and the count of identical series. Snapshots
+// are cumulative (metrics accumulate across a daemon's runs), so a diff of
+// run N against run N-1 isolates run N's own contribution.
+type RunsDiff struct {
+	A       int          `json:"a"`
+	B       int          `json:"b"`
+	Equal   int          `json:"equal_series"`
+	Changed []SeriesDiff `json:"changed"`
+	OnlyA   []string     `json:"only_a"`
+	OnlyB   []string     `json:"only_b"`
+}
+
+// serveRunsDiff diffs the metric snapshots captured at two runs' AddRun
+// points: /runs/diff?a=1&b=2.
+func (s *Server) serveRunsDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	a, errA := strconv.Atoi(q.Get("a"))
+	b, errB := strconv.Atoi(q.Get("b"))
+	if errA != nil || errB != nil {
+		http.Error(w, "want ?a=<run-id>&b=<run-id>", http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	n := len(s.snaps)
+	var snapA, snapB []byte
+	if a >= 1 && a <= n {
+		snapA = s.snaps[a-1]
+	}
+	if b >= 1 && b <= n {
+		snapB = s.snaps[b-1]
+	}
+	s.mu.RUnlock()
+	if (a < 1 || a > n) || (b < 1 || b > n) {
+		http.Error(w, fmt.Sprintf("run out of range: have %d runs", n), http.StatusNotFound)
+		return
+	}
+	sa, sb := parseSeries(snapA), parseSeries(snapB)
+	diff := RunsDiff{A: a, B: b, Changed: []SeriesDiff{}, OnlyA: []string{}, OnlyB: []string{}}
+	names := make([]string, 0, len(sa)+len(sb))
+	for k := range sa {
+		names = append(names, k)
+	}
+	for k := range sb {
+		if _, ok := sa[k]; !ok {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		va, okA := sa[k]
+		vb, okB := sb[k]
+		switch {
+		case okA && !okB:
+			diff.OnlyA = append(diff.OnlyA, k)
+		case okB && !okA:
+			diff.OnlyB = append(diff.OnlyB, k)
+		case va != vb:
+			diff.Changed = append(diff.Changed, SeriesDiff{Series: k, A: va, B: vb, Delta: vb - va})
+		default:
+			diff.Equal++
+		}
+	}
+	writeJSON(w, diff)
+}
+
+// parseSeries reads a Prometheus text exposition into series-name → value
+// (comment lines skipped), the same granularity the golden gate diffs at.
+func parseSeries(snapshot []byte) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(snapshot), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServerRunsDiff drives the /runs/diff endpoint through two published
+// runs: the diff must isolate the series the second run moved, keep identical
+// series out of the changed list, and reject malformed or out-of-range IDs.
+func TestServerRunsDiff(t *testing.T) {
+	clock := 1.0
+	h := New()
+	h.Attach(func() float64 { return clock }, "planned")
+	ctr := h.Metrics.Counter("serving_requests_completed_total", "Requests fully served.", nil)
+	stable := h.Metrics.Counter("runs_total", "Runs.", nil)
+	stable.Inc()
+	srv := NewServer()
+
+	ctr.Add(3)
+	if err := srv.PublishHub(h); err != nil {
+		t.Fatal(err)
+	}
+	srv.AddRun(RunSummary{System: "heroserve"})
+
+	ctr.Add(4) // second run serves 4 more
+	h.Metrics.Counter("faults_injected_total", "Faults.", nil).Inc()
+	if err := srv.PublishHub(h); err != nil {
+		t.Fatal(err)
+	}
+	srv.AddRun(RunSummary{System: "distserve"})
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := get(t, ts.URL+"/runs/diff?a=1&b=2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/runs/diff status %d: %s", resp.StatusCode, body)
+	}
+	var diff RunsDiff
+	if err := json.Unmarshal(body, &diff); err != nil {
+		t.Fatalf("/runs/diff not JSON: %v", err)
+	}
+	if diff.A != 1 || diff.B != 2 {
+		t.Errorf("diff ids = %d,%d", diff.A, diff.B)
+	}
+	var sawCompleted bool
+	for _, c := range diff.Changed {
+		if c.Series == "serving_requests_completed_total" {
+			sawCompleted = true
+			if c.A != 3 || c.B != 7 || c.Delta != 4 {
+				t.Errorf("completed diff = %+v", c)
+			}
+		}
+		if c.Series == "runs_total" {
+			t.Errorf("unchanged series %q reported as changed", c.Series)
+		}
+	}
+	if !sawCompleted {
+		t.Errorf("diff missing serving_requests_completed_total: %+v", diff)
+	}
+	found := false
+	for _, s := range diff.OnlyB {
+		if s == "faults_injected_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("faults_injected_total should be only_b, got %+v", diff.OnlyB)
+	}
+	if diff.Equal == 0 {
+		t.Error("expected at least one identical series (runs_total)")
+	}
+
+	// Error paths.
+	for path, want := range map[string]int{
+		"/runs/diff":          http.StatusBadRequest,
+		"/runs/diff?a=1&b=x":  http.StatusBadRequest,
+		"/runs/diff?a=1&b=99": http.StatusNotFound,
+		"/runs/diff?a=0&b=1":  http.StatusNotFound,
+	} {
+		resp, _ := get(t, ts.URL+path)
+		if resp.StatusCode != want {
+			t.Errorf("%s status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestServerMetricsContentNegotiation checks that /metrics answers the
+// OpenMetrics media type only when the scraper asks for it.
+func TestServerMetricsContentNegotiation(t *testing.T) {
+	clock := 2.0
+	h := testHub(&clock)
+	srv := NewServer()
+	if err := srv.PublishHub(h); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Default: classic Prometheus text.
+	resp, body := get(t, ts.URL+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypeProm {
+		t.Errorf("default content-type %q", ct)
+	}
+	if strings.Contains(string(body), "# EOF") {
+		t.Error("classic exposition must not carry the OpenMetrics EOF marker")
+	}
+
+	// Prometheus-style OpenMetrics negotiation.
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0; charset=utf-8, text/plain;q=0.5")
+	omResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(omResp.Body)
+	omResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := string(raw)
+	if ct := omResp.Header.Get("Content-Type"); ct != ContentTypeOpenMetrics {
+		t.Errorf("negotiated content-type %q", ct)
+	}
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition must end with # EOF, got tail %q", tailOf(om))
+	}
+	if !strings.Contains(om, "serving_requests_completed_created") {
+		t.Error("OpenMetrics exposition missing _created series")
+	}
+}
+
+func tailOf(s string) string {
+	if len(s) > 40 {
+		return s[len(s)-40:]
+	}
+	return s
+}

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 
 	"heroserve/internal/stats"
 )
@@ -56,10 +57,11 @@ type family struct {
 }
 
 type child struct {
-	values []string
-	ctr    *Counter
-	gauge  *Gauge
-	hist   *Histogram
+	values  []string
+	created float64 // sim-time the child was first registered (OpenMetrics _created)
+	ctr     *Counter
+	gauge   *Gauge
+	hist    *Histogram
 }
 
 // NewRegistry returns a registry whose gauges read timestamps from clock.
@@ -82,7 +84,7 @@ func (r *Registry) family(name, help, kind string, buckets []float64, labels []s
 	return f
 }
 
-func (f *family) child(values []string) *child {
+func (f *family) child(values []string, now float64) *child {
 	if len(values) != len(f.labels) {
 		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d",
 			f.name, len(f.labels), len(values)))
@@ -90,7 +92,7 @@ func (f *family) child(values []string) *child {
 	key := strings.Join(values, labelSep)
 	c, ok := f.childs[key]
 	if !ok {
-		c = &child{values: append([]string(nil), values...)}
+		c = &child{values: append([]string(nil), values...), created: now}
 		f.childs[key] = c
 		f.order = append(f.order, key)
 	}
@@ -103,7 +105,7 @@ func (r *Registry) Counter(name, help string, labels []string, values ...string)
 	if r == nil {
 		return nil
 	}
-	c := r.family(name, help, kindCounter, nil, labels).child(values)
+	c := r.family(name, help, kindCounter, nil, labels).child(values, r.clock())
 	if c.ctr == nil {
 		c.ctr = &Counter{}
 	}
@@ -117,7 +119,7 @@ func (r *Registry) Gauge(name, help string, labels []string, values ...string) *
 	if r == nil {
 		return nil
 	}
-	c := r.family(name, help, kindGauge, nil, labels).child(values)
+	c := r.family(name, help, kindGauge, nil, labels).child(values, r.clock())
 	if c.gauge == nil {
 		c.gauge = &Gauge{clock: r.clock}
 	}
@@ -130,9 +132,17 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels []stri
 	if r == nil {
 		return nil
 	}
-	c := r.family(name, help, kindHistogram, buckets, labels).child(values)
+	c := r.family(name, help, kindHistogram, buckets, labels).child(values, r.clock())
 	if c.hist == nil {
-		c.hist = &Histogram{upper: buckets, counts: make([]uint64, len(buckets))}
+		c.hist = &Histogram{
+			upper:  buckets,
+			counts: make([]uint64, len(buckets)),
+			ex:     make([]exemplar, len(buckets)+1),
+			clock:  r.clock,
+			dropped: r.Counter("telemetry_dropped_samples_total",
+				"Non-finite histogram samples dropped before they could poison the sum, by metric.",
+				[]string{"metric"}, name),
+		}
 	}
 	return c.hist
 }
@@ -249,26 +259,76 @@ func (g *Gauge) Value() float64 {
 	return g.tw.Value()
 }
 
-// Histogram is a fixed-bucket cumulative histogram. The nil handle is a no-op.
-type Histogram struct {
-	upper  []float64
-	counts []uint64 // per-bucket (non-cumulative); +Inf overflow tracked by n
-	sum    float64
-	n      uint64
+// exemplar is one OpenMetrics exemplar: the trace ID, value, and sim-time of
+// the slowest sample that landed in a bucket. A zero traceID means none.
+type exemplar struct {
+	traceID string
+	v       float64
+	ts      float64
 }
 
-// Observe adds one sample.
+// exemplarMaxRunes is the OpenMetrics bound on an exemplar's LabelSet: the
+// combined length of label names and values must not exceed 128 runes.
+const exemplarMaxRunes = 128
+
+// exemplarLabel is the single label name every exemplar here carries.
+const exemplarLabel = "trace_id"
+
+// Histogram is a fixed-bucket cumulative histogram. The nil handle is a no-op.
+// Non-finite samples are dropped (a single NaN would otherwise fail every
+// bucket comparison and poison the sum forever) and tallied in the registry's
+// telemetry_dropped_samples_total counter.
+type Histogram struct {
+	upper   []float64
+	counts  []uint64   // per-bucket (non-cumulative); +Inf overflow tracked by n
+	ex      []exemplar // per-bucket exemplars; last entry is the +Inf bucket
+	sum     float64
+	n       uint64
+	clock   func() float64 // nil on hand-built histograms (tests)
+	dropped *Counter       // telemetry_dropped_samples_total{metric}
+}
+
+// Observe adds one sample. Non-finite samples are dropped and counted.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveTraced(v, "")
+}
+
+// ObserveTraced adds one sample carrying the trace ID of the event that
+// produced it. Each bucket remembers the slowest sample that landed in it
+// (first-seen wins ties), exported as an OpenMetrics exemplar so dashboards
+// can jump from a latency bucket straight to the trace span behind it.
+// Trace IDs that would exceed the OpenMetrics 128-rune exemplar LabelSet
+// limit are not recorded; the observation itself still counts.
+func (h *Histogram) ObserveTraced(v float64, traceID string) {
 	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.dropped.Inc()
 		return
 	}
 	h.n++
 	h.sum += v
+	bucket := len(h.upper) // +Inf overflow
 	for i, ub := range h.upper {
 		if v <= ub {
 			h.counts[i]++
+			bucket = i
 			break
 		}
+	}
+	if traceID == "" || h.ex == nil {
+		return
+	}
+	if utf8.RuneCountInString(exemplarLabel)+utf8.RuneCountInString(traceID) > exemplarMaxRunes {
+		return
+	}
+	if e := &h.ex[bucket]; e.traceID == "" || v > e.v {
+		var ts float64
+		if h.clock != nil {
+			ts = h.clock()
+		}
+		*e = exemplar{traceID: traceID, v: v, ts: ts}
 	}
 }
 

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// omHub builds a hub with every instrument kind, traced observations
+// included, the way a serving run populates it.
+func omHub() *Hub {
+	clock := 0.0
+	h := New()
+	h.Attach(func() float64 { return clock }, "planned")
+	clock = 1.5
+	h.Metrics.Counter("serving_requests_completed_total", "Requests fully served.", nil).Add(3)
+	h.Metrics.Gauge("decode_kv_utilization", "KV utilization.", []string{"instance"}, "decode-0").Set(0.5)
+	hist := h.Metrics.Histogram("ttft_seconds", "Time to first token.", []float64{0.1, 1}, nil)
+	hist.ObserveTraced(0.05, "p1-r0")
+	clock = 2.0
+	hist.ObserveTraced(0.08, "p1-r1") // slower sample in the same bucket wins
+	hist.ObserveTraced(0.4, "p1-r2")
+	hist.ObserveTraced(7.5, "p1-r3") // +Inf overflow bucket
+	return h
+}
+
+func TestWriteOpenMetricsFormat(t *testing.T) {
+	h := omHub()
+	var b bytes.Buffer
+	if err := h.Metrics.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	om := b.String()
+
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Fatalf("document must end with # EOF, tail: %q", om[len(om)-40:])
+	}
+	// Counter metadata drops the _total suffix; samples keep it, plus _created.
+	for _, want := range []string{
+		"# TYPE serving_requests_completed counter\n",
+		"serving_requests_completed_total 3\n",
+		"serving_requests_completed_created 1.5\n",
+		"ttft_seconds_created 1.5\n",
+	} {
+		if !strings.Contains(om, want) {
+			t.Errorf("missing %q in:\n%s", want, om)
+		}
+	}
+	if strings.Contains(om, "# TYPE serving_requests_completed_total") {
+		t.Error("counter TYPE line must not carry the _total suffix")
+	}
+	// Exemplars: slowest sample per bucket, with value and sim-timestamp.
+	for _, want := range []string{
+		`ttft_seconds_bucket{le="0.1"} 2 # {trace_id="p1-r1"} 0.08 2`,
+		`ttft_seconds_bucket{le="1"} 3 # {trace_id="p1-r2"} 0.4 2`,
+		`ttft_seconds_bucket{le="+Inf"} 4 # {trace_id="p1-r3"} 7.5 2`,
+	} {
+		if !strings.Contains(om, want) {
+			t.Errorf("missing exemplar line %q in:\n%s", want, om)
+		}
+	}
+}
+
+func TestWriteOpenMetricsByteDeterminism(t *testing.T) {
+	render := func() string {
+		var b bytes.Buffer
+		if err := omHub().Metrics.WriteOpenMetrics(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("two identical runs rendered different documents:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	// And re-rendering the same registry is stable too.
+	h := omHub()
+	var x, y bytes.Buffer
+	if err := h.Metrics.WriteOpenMetrics(&x); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Metrics.WriteOpenMetrics(&y); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(x.Bytes(), y.Bytes()) {
+		t.Error("re-rendering the same registry changed the document")
+	}
+}
+
+// TestExemplarRuneLimit: the OpenMetrics spec caps an exemplar's LabelSet
+// (names + values) at 128 runes; oversized trace IDs must be skipped while
+// the observation itself still counts.
+func TestExemplarRuneLimit(t *testing.T) {
+	clock := 1.0
+	h := New()
+	h.Attach(func() float64 { return clock }, "planned")
+	hist := h.Metrics.Histogram("x_seconds", "x.", []float64{1}, nil)
+
+	// len("trace_id") = 8, so 120 runes of value exactly hits the cap.
+	fits := strings.Repeat("a", 120)
+	tooLong := strings.Repeat("b", 121)
+	hist.ObserveTraced(0.5, tooLong)
+	var b bytes.Buffer
+	if err := h.Metrics.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "trace_id") {
+		t.Error("oversized exemplar must be dropped")
+	}
+	if got, _ := h.Metrics.HistogramCount("x_seconds"); got != 1 {
+		t.Errorf("observation with oversized trace ID must still count, n=%d", got)
+	}
+
+	// Multi-byte runes count as single runes.
+	wide := strings.Repeat("é", 120)
+	hist.ObserveTraced(0.9, wide) // slower: replaces nothing (prior was dropped)
+	hist.ObserveTraced(0.7, fits)
+	b.Reset()
+	if err := h.Metrics.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), wide) {
+		t.Error("120-rune multi-byte trace ID should fit the 128-rune LabelSet cap")
+	}
+}
+
+// TestHistogramDropsNonFinite: a NaN observation used to fail every bucket
+// comparison and poison _sum forever; non-finite samples are now dropped and
+// tallied in telemetry_dropped_samples_total{metric}.
+func TestHistogramDropsNonFinite(t *testing.T) {
+	clock := 0.0
+	h := New()
+	h.Attach(func() float64 { return clock }, "planned")
+	hist := h.Metrics.Histogram("ttft_seconds", "t.", []float64{1}, nil)
+	hist.Observe(0.5)
+	hist.Observe(math.NaN())
+	hist.Observe(math.Inf(1))
+	hist.Observe(math.Inf(-1))
+	hist.Observe(0.25)
+
+	if hist.Count() != 2 {
+		t.Errorf("count = %d, want 2", hist.Count())
+	}
+	if hist.Sum() != 0.75 {
+		t.Errorf("sum = %v, want 0.75 (a NaN would poison it)", hist.Sum())
+	}
+	if math.IsNaN(hist.Sum()) {
+		t.Fatal("sum is NaN")
+	}
+	if got, ok := h.Metrics.Value("telemetry_dropped_samples_total", "ttft_seconds"); !ok || got != 3 {
+		t.Errorf("dropped counter = %v,%v, want 3", got, ok)
+	}
+	// The exposition stays parseable.
+	var b bytes.Buffer
+	if err := h.Metrics.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "NaN") {
+		t.Errorf("exposition carries NaN:\n%s", b.String())
+	}
+}
+
+// TestHistogramNilDroppedCounter: hand-built histograms (no registry) must
+// not crash on non-finite samples.
+func TestHistogramNilDroppedCounter(t *testing.T) {
+	var h *Histogram
+	h.Observe(math.NaN()) // nil receiver
+	h2 := &Histogram{upper: []float64{1}, counts: make([]uint64, 1)}
+	h2.Observe(math.NaN())
+	if h2.Count() != 0 {
+		t.Error("NaN counted on registry-less histogram")
+	}
+}

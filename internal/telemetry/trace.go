@@ -44,6 +44,7 @@ type Tracer struct {
 	count  int // events recorded across both backends
 	events []Event
 	stream *traceStream // nil on the buffered backend
+	tap    func(Event)  // optional live observer, invoked on every emit
 }
 
 // NewTracer returns a buffered tracer reading sim-time (seconds) from clock.
@@ -152,9 +153,33 @@ func (t *Tracer) CloseStream() error {
 	return err
 }
 
+// Tap installs fn as the tracer's live observer: every subsequent event is
+// passed to fn the moment it is recorded, on the goroutine that records it,
+// regardless of backend. One tap at a time; installing a new one replaces the
+// old (the critical-path collector re-taps per serving run). Already-recorded
+// events are not replayed. Pass nil to remove.
+func (t *Tracer) Tap(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.tap = fn
+}
+
+// PID returns the id of the current trace process (0 before the first
+// BeginProcess).
+func (t *Tracer) PID() int {
+	if t == nil {
+		return 0
+	}
+	return t.pid
+}
+
 // emit records one event on whichever backend is active.
 func (t *Tracer) emit(ev Event) {
 	t.count++
+	if t.tap != nil {
+		t.tap(ev)
+	}
 	if t.stream != nil {
 		t.stream.write(ev)
 		return

@@ -39,6 +39,19 @@ test -s "$ART/metrics.prom"
 grep -q '^serving_requests_completed_total' "$ART/metrics.prom"
 echo "telemetry artifacts: $ART"
 
+# Critical-path smoke: the same run re-exported as OpenMetrics must carry
+# exemplars and the EOF terminator; tracestat must decompose the span export
+# into a stage report, and a self-diff must be zero.
+echo "== critical-path smoke"
+go run ./cmd/serve -trace "$ART/trace.json" -system heroserve -topology testbed \
+	-model opt-13b -metrics-format openmetrics -metrics-out "$ART/metrics.om" > /dev/null
+tail -1 "$ART/metrics.om" | grep -qx '# EOF'
+grep -q 'trace_id=' "$ART/metrics.om"
+grep -q '^ttft_critical_path_seconds_total{stage=' "$ART/metrics.om"
+go run ./cmd/tracestat "$ART/spans.json" > "$ART/critpath.txt"
+grep -q 'critical-path breakdown' "$ART/critpath.txt"
+go run ./cmd/tracestat -diff "$ART/spans.json" "$ART/spans.json" | grep -q 'delta +0.000000s'
+
 # Scaling-study smoke: the ext-scale scoreboard must run end to end in both
 # machine formats. The CSV must carry the static reference plus every policy;
 # the JSON must parse. (Registry-vs-Results agreement is asserted inside the

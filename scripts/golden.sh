@@ -14,6 +14,12 @@
 # is insensitive to family ordering; values are already timestamp-free
 # (sim-time only). On check failure the per-case diffs are also written to
 # $GOLDEN_DIFF_DIR (if set) for CI artifact upload.
+#
+# Each case also pins a trace-derived aggregate ($name.trace.tsv): the
+# queue/allreduce/stages TSV tables from scripts/tracequery.sh over the run's
+# span export. That catches drift the metrics exposition can't see — e.g. a
+# span that stops being emitted, or an allreduce silently switching scheme.
+# Requires jq; skipped with a warning when jq is missing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +35,12 @@ BIN="$OUT_DIR/bin"
 mkdir -p "$BIN"
 go build -o "$BIN/tracegen" ./cmd/tracegen
 go build -o "$BIN/serve" ./cmd/serve
+
+HAVE_JQ=1
+if ! command -v jq > /dev/null; then
+	HAVE_JQ=0
+	echo "golden: WARNING jq not found; trace-aggregate goldens skipped" >&2
+fi
 
 # The pinned matrix: name | tracegen args | serve args. Kept CI-cheap
 # (testbed, opt-13b) while covering three systems, two workload kinds, and
@@ -46,15 +58,45 @@ cases() {
 }
 
 # produce NAME TRACEGEN_ARGS SERVE_ARGS: run the case, normalize the
-# exposition into $OUT_DIR/NAME.prom.
+# exposition into $OUT_DIR/NAME.prom and the trace aggregates into
+# $OUT_DIR/NAME.trace.tsv (when jq is available).
 produce() {
 	local name=$1 tg=$2 sv=$3
 	# shellcheck disable=SC2086 # word-splitting of the arg strings is intended
 	"$BIN/tracegen" $tg > "$OUT_DIR/$name.trace.json"
 	# shellcheck disable=SC2086
 	"$BIN/serve" -trace "$OUT_DIR/$name.trace.json" $sv \
-		-metrics-out "$OUT_DIR/$name.raw.prom" > /dev/null
+		-metrics-out "$OUT_DIR/$name.raw.prom" \
+		-trace-out "$OUT_DIR/$name.spans.json" > /dev/null
 	LC_ALL=C sort "$OUT_DIR/$name.raw.prom" > "$OUT_DIR/$name.prom"
+	if [[ $HAVE_JQ -eq 1 ]]; then
+		{
+			for q in queue allreduce stages; do
+				echo "## $q"
+				scripts/tracequery.sh "$q" "$OUT_DIR/$name.spans.json"
+			done
+		} > "$OUT_DIR/$name.trace.tsv"
+	fi
+}
+
+# compare NAME EXT: diff $OUT_DIR/NAME.EXT against the golden; returns 1 and
+# reports on drift or a missing golden.
+compare() {
+	local name=$1 ext=$2
+	if [[ ! -f "$GOLDEN_DIR/$name.$ext" ]]; then
+		echo "golden: MISSING $GOLDEN_DIR/$name.$ext (run scripts/golden.sh regen)" >&2
+		return 1
+	fi
+	if ! diff -u "$GOLDEN_DIR/$name.$ext" "$OUT_DIR/$name.$ext" > "$OUT_DIR/$name.$ext.diff"; then
+		echo "golden: DRIFT in $name ($ext):" >&2
+		cat "$OUT_DIR/$name.$ext.diff" >&2
+		if [[ -n "${GOLDEN_DIFF_DIR:-}" ]]; then
+			mkdir -p "$GOLDEN_DIFF_DIR"
+			cp "$OUT_DIR/$name.$ext.diff" "$GOLDEN_DIFF_DIR/$name.$ext.diff"
+		fi
+		return 1
+	fi
+	echo "golden: ok $name ($ext)"
 }
 
 status=0
@@ -64,23 +106,15 @@ while IFS='|' read -r name tg sv; do
 		mkdir -p "$GOLDEN_DIR"
 		cp "$OUT_DIR/$name.prom" "$GOLDEN_DIR/$name.prom"
 		echo "golden: wrote $GOLDEN_DIR/$name.prom"
-		continue
-	fi
-	if [[ ! -f "$GOLDEN_DIR/$name.prom" ]]; then
-		echo "golden: MISSING $GOLDEN_DIR/$name.prom (run scripts/golden.sh regen)" >&2
-		status=1
-		continue
-	fi
-	if ! diff -u "$GOLDEN_DIR/$name.prom" "$OUT_DIR/$name.prom" > "$OUT_DIR/$name.diff"; then
-		echo "golden: DRIFT in $name:" >&2
-		cat "$OUT_DIR/$name.diff" >&2
-		if [[ -n "${GOLDEN_DIFF_DIR:-}" ]]; then
-			mkdir -p "$GOLDEN_DIFF_DIR"
-			cp "$OUT_DIR/$name.diff" "$GOLDEN_DIFF_DIR/$name.diff"
+		if [[ $HAVE_JQ -eq 1 ]]; then
+			cp "$OUT_DIR/$name.trace.tsv" "$GOLDEN_DIR/$name.trace.tsv"
+			echo "golden: wrote $GOLDEN_DIR/$name.trace.tsv"
 		fi
-		status=1
-	else
-		echo "golden: ok $name"
+		continue
+	fi
+	compare "$name" prom || status=1
+	if [[ $HAVE_JQ -eq 1 ]]; then
+		compare "$name" trace.tsv || status=1
 	fi
 done < <(cases)
 
