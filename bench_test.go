@@ -307,6 +307,18 @@ func BenchmarkAblationPerturbation(b *testing.B) {
 // BenchmarkEndToEndServe measures raw simulator throughput: simulated
 // seconds per wall second for a loaded OPT-66B testbed run.
 func BenchmarkEndToEndServe(b *testing.B) {
+	e2eServeBench(b, serving.Options{})
+}
+
+// BenchmarkEndToEndServeRef is the same run forced onto the reference
+// simulator paths (global water-filling, binary-heap event queue). Results
+// are bit-identical to BenchmarkEndToEndServe; the pair is recorded in
+// BENCH_6.json as the end-to-end fast-vs-reference comparison.
+func BenchmarkEndToEndServeRef(b *testing.B) {
+	e2eServeBench(b, serving.Options{ReferenceNetsim: true, ReferenceSim: true})
+}
+
+func e2eServeBench(b *testing.B, opts serving.Options) {
 	g := topology.Testbed()
 	pre, dec := planner.SplitPoolsByServer(g, 2)
 	trace512 := workload.NewGenerator(workload.Chatbot, 1).Generate(512, 1)
@@ -329,7 +341,7 @@ func BenchmarkEndToEndServe(b *testing.B) {
 	trace := workload.NewGenerator(workload.Chatbot, 5).Generate(64, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sys, err := serving.New(g, plan.Deployment, serving.Options{})
+		sys, err := serving.New(g, plan.Deployment, opts)
 		if err != nil {
 			b.Fatal(err)
 		}

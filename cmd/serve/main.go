@@ -68,6 +68,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "stream Chrome trace-event JSON (Perfetto-loadable) here")
 	metricsOut := flag.String("metrics-out", "", "write text-format metrics here")
 	metricsFormat := flag.String("metrics-format", "prom", "metrics exposition format: prom | openmetrics")
+	netsimRef := flag.Bool("netsim-ref", false, "use the reference (global) water-filling allocator instead of the incremental fast path (bit-identical output)")
+	simRef := flag.Bool("sim-ref", false, "use the reference binary-heap event queue instead of the timer wheel (bit-identical output)")
 	daemon := flag.Bool("daemon", false, "serve /metrics /healthz /runs /trace over HTTP and stay up after the run")
 	listen := flag.String("listen", ":9090", "daemon listen address")
 	publishEvery := flag.Float64("publish-every", 5, "daemon metrics-snapshot cadence in simulated seconds")
@@ -192,6 +194,7 @@ func main() {
 		runSystem(name, in, trace, hub, srv, runParams{
 			sla: sla, autoscale: *autoscale, scalePolicy: *scalePolicy,
 			elephants: *elephants, seed: *seed, publishEvery: *publishEvery,
+			netsimRef: *netsimRef, simRef: *simRef,
 		})
 	}
 
@@ -231,13 +234,15 @@ type runParams struct {
 	elephants    int
 	seed         int64
 	publishEvery float64
+	netsimRef    bool
+	simRef       bool
 }
 
 // runSystem plans, builds, and replays the trace through one system,
 // printing its summary. With a daemon server attached it also schedules
 // periodic sim-time snapshot publications and records the run for /runs.
 func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telemetry.Hub, srv *telemetry.Server, p runParams) {
-	opts := serving.Options{}
+	opts := serving.Options{ReferenceNetsim: p.netsimRef, ReferenceSim: p.simRef}
 	if p.autoscale {
 		// Policies are stateful; build a fresh one per system run.
 		pol, err := serving.NewScalePolicy(p.scalePolicy)

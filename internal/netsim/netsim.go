@@ -11,6 +11,19 @@
 // simulator also exposes the per-link telemetry the paper's agents poll
 // (hardware byte counters, current utilization) to drive the online
 // scheduler.
+//
+// Two water-filling implementations share the Network type. New returns the
+// fast path: each reallocation recomputes rates only over the connected
+// component of links reachable from the edges the triggering change touched
+// (flows elsewhere keep their — still exact — rates), walks flows through a
+// maintained ID-ordered index instead of sorting the flow map, and reuses
+// epoch-stamped scratch buffers so a steady-state reallocation performs no
+// heap allocation of its own. NewReference keeps the original global
+// fixed-point recomputation. Both produce bit-identical rates, completion
+// times, and event orderings — the fast path deliberately issues the same
+// engine Schedule/Cancel sequence, so FIFO tie-breaks cannot drift —
+// proven over long randomized scripts by differential_test.go and fuzzed
+// for max-min invariants by FuzzReallocate.
 package netsim
 
 import (
@@ -39,8 +52,14 @@ type Flow struct {
 	latency   float64 // fixed path latency, applied after serialization
 	done      func(*Flow)
 	finish    *sim.Event
+	finishFn  func() // cached completion thunk (fast path: no per-reallocation closure)
 	net       *Network
 	cancelled bool
+
+	// Fast-path water-filling state, valid only while the owning Network's
+	// epoch matches (no clearing pass between reallocations).
+	compEpoch   uint64
+	frozenEpoch uint64
 }
 
 // Rate returns the flow's current max-min fair rate in bytes/second.
@@ -54,8 +73,12 @@ type Network struct {
 	g   *topology.Graph
 	eng *sim.Engine
 
+	// ref selects the reference (global, allocating) water-filling path.
+	ref bool
+
 	flows     map[FlowID]*Flow
-	linkFlows [][]FlowID // edge id -> active flow ids
+	order     []*Flow   // active flows in ascending ID order (fast path index)
+	linkFlows [][]*Flow // edge id -> active flows crossing it
 	nextID    FlowID
 
 	// linkScale scales each edge's capacity for fault injection: 1 is a
@@ -68,6 +91,16 @@ type Network struct {
 	lastCharge   sim.Time
 
 	tel *netTelemetry // nil when telemetry is off
+
+	// Fast-path scratch, allocated once at New and epoch-stamped instead of
+	// cleared, so reallocation does not allocate. All indexed by edge id.
+	epoch     uint64
+	linkEpoch []uint64
+	capLeft   []float64
+	count     []int
+	compLinks []topology.EdgeID // component links, reused across reallocations
+	linkQueue []topology.EdgeID // BFS worklist, reused
+	dirtyOne  [1]topology.EdgeID
 }
 
 // netTelemetry holds the network's metric handles. Per-link families are
@@ -123,13 +156,33 @@ func (n *Network) linkLabel(eid topology.EdgeID) string {
 	return fmt.Sprintf("%03d:%s-%s", int(eid), a, b)
 }
 
-// New returns a Network over g driven by eng.
+// New returns a Network over g driven by eng, using the fast incremental
+// water-filling path.
 func New(g *topology.Graph, eng *sim.Engine) *Network {
+	n := newNetwork(g, eng)
+	n.linkEpoch = make([]uint64, g.NumEdges())
+	n.capLeft = make([]float64, g.NumEdges())
+	n.count = make([]int, g.NumEdges())
+	return n
+}
+
+// NewReference returns a Network using the original global water-filling
+// implementation: every reallocation recomputes every flow's rate from a
+// fresh fixed point. It is behaviorally identical to New — the differential
+// tests prove bit-exact agreement — and exists as the equivalence oracle
+// and benchmark baseline.
+func NewReference(g *topology.Graph, eng *sim.Engine) *Network {
+	n := newNetwork(g, eng)
+	n.ref = true
+	return n
+}
+
+func newNetwork(g *topology.Graph, eng *sim.Engine) *Network {
 	return &Network{
 		g:            g,
 		eng:          eng,
 		flows:        make(map[FlowID]*Flow),
-		linkFlows:    make([][]FlowID, g.NumEdges()),
+		linkFlows:    make([][]*Flow, g.NumEdges()),
 		bytesCarried: make([]float64, g.NumEdges()),
 	}
 }
@@ -161,7 +214,8 @@ func (n *Network) SetLinkScale(eid topology.EdgeID, frac float64) {
 	}
 	n.charge()
 	n.linkScale[eid] = frac
-	n.reallocate()
+	n.dirtyOne[0] = eid
+	n.reallocate(n.dirtyOne[:])
 }
 
 // LinkScale returns the edge's current capacity scale (1 when healthy).
@@ -229,10 +283,14 @@ func (n *Network) StartFlow(path topology.Path, size int64, done func(*Flow)) *F
 
 	n.charge()
 	n.flows[f.ID] = f
-	for _, eid := range path.Edges {
-		n.linkFlows[eid] = append(n.linkFlows[eid], f.ID)
+	if !n.ref {
+		f.finishFn = func() { n.finishFlow(f) }
+		n.order = append(n.order, f) // IDs are monotonic: stays sorted
 	}
-	n.reallocate()
+	for _, eid := range path.Edges {
+		n.linkFlows[eid] = append(n.linkFlows[eid], f)
+	}
+	n.reallocate(f.Path.Edges)
 	return f
 }
 
@@ -252,7 +310,7 @@ func (n *Network) CancelFlow(f *Flow) {
 	f.cancelled = true
 	n.charge()
 	n.remove(f)
-	n.reallocate()
+	n.reallocate(f.Path.Edges)
 }
 
 // complete finishes a zero-edge flow or a flow whose serialization event
@@ -275,12 +333,31 @@ func (n *Network) remove(f *Flow) {
 	delete(n.flows, f.ID)
 	for _, eid := range f.Path.Edges {
 		lf := n.linkFlows[eid]
-		for i, id := range lf {
-			if id == f.ID {
-				lf[i] = lf[len(lf)-1]
-				n.linkFlows[eid] = lf[:len(lf)-1]
+		for i, g := range lf {
+			if g == f {
+				last := len(lf) - 1
+				lf[i] = lf[last]
+				lf[last] = nil
+				n.linkFlows[eid] = lf[:last]
 				break
 			}
+		}
+	}
+	if !n.ref {
+		// Binary search by ID (hand-rolled: sort.Search's closure escapes).
+		lo, hi := 0, len(n.order)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if n.order[mid].ID < f.ID {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(n.order) && n.order[lo] == f {
+			copy(n.order[lo:], n.order[lo+1:])
+			n.order[len(n.order)-1] = nil
+			n.order = n.order[:len(n.order)-1]
 		}
 	}
 	if f.finish != nil {
@@ -298,7 +375,11 @@ func (n *Network) charge() {
 	if dt <= 0 {
 		return
 	}
-	for _, f := range n.orderedFlows() {
+	active := n.order
+	if n.ref {
+		active = n.orderedFlows()
+	}
+	for _, f := range active {
 		moved := f.rate * (now - f.lastT)
 		f.remaining -= moved
 		if f.remaining < 0 {
@@ -321,11 +402,11 @@ func (n *Network) charge() {
 	}
 }
 
-// orderedFlows returns the active flows sorted by ID. Map iteration order
-// is randomized per run, so every loop whose float accumulation or event
-// scheduling order is observable must walk flows through this — otherwise
-// same-seed simulations diverge (same-time completion events fire in a
-// different FIFO order, byte counters accumulate in a different order).
+// orderedFlows returns the active flows sorted by ID (reference path only;
+// the fast path maintains the same ordering incrementally in n.order). Map
+// iteration order is randomized per run, so every loop whose float
+// accumulation or event scheduling order is observable must walk flows in a
+// deterministic order — otherwise same-seed simulations diverge.
 func (n *Network) orderedFlows() []*Flow {
 	out := make([]*Flow, 0, len(n.flows))
 	for _, f := range n.flows {
@@ -335,12 +416,54 @@ func (n *Network) orderedFlows() []*Flow {
 	return out
 }
 
-// reallocate recomputes all flow rates by progressive water-filling
-// (max-min fairness) and reschedules completion events.
-func (n *Network) reallocate() {
+// reallocate recomputes flow rates by progressive water-filling (max-min
+// fairness) and reschedules completion events. dirty names the edges touched
+// by the triggering change (the changed flow's path, or a rescaled link);
+// the fast path confines the rate recomputation to their connected
+// component. Completion events are rescheduled for every active flow on both
+// paths — not just the recomputed ones — so the engine sees one and the same
+// Schedule sequence either way and FIFO tie-breaking stays bit-identical.
+func (n *Network) reallocate(dirty []topology.EdgeID) {
 	if len(n.flows) == 0 {
 		return
 	}
+	if n.ref {
+		n.refWaterfill()
+		now := n.eng.Now()
+		for _, f := range n.orderedFlows() {
+			if f.finish != nil {
+				n.eng.Cancel(f.finish)
+				f.finish = nil
+			}
+			if f.rate <= 0 {
+				continue // stalled: no event until capacity frees up
+			}
+			eta := f.remaining / f.rate
+			fl := f
+			f.finish = n.eng.Schedule(now+eta, func() { n.finishFlow(fl) })
+		}
+		return
+	}
+	n.waterfillComponent(dirty)
+	now := n.eng.Now()
+	for _, f := range n.order {
+		if f.finish != nil {
+			n.eng.Cancel(f.finish)
+			f.finish = nil
+		}
+		if f.rate <= 0 {
+			continue
+		}
+		eta := f.remaining / f.rate
+		f.finish = n.eng.Schedule(now+eta, f.finishFn)
+	}
+}
+
+// refWaterfill is the reference allocator: a global progressive
+// water-filling fixed point over every link and flow, rebuilt from scratch
+// (fresh slices, a frozen map, a full edge scan per bottleneck round) on
+// each reallocation.
+func (n *Network) refWaterfill() {
 	// Remaining capacity per link and unfrozen flow count per link, indexed
 	// by edge id so the bottleneck scan below is deterministic (ties go to
 	// the lowest edge id; a map here would break same-seed reproducibility).
@@ -376,12 +499,11 @@ func (n *Network) reallocate() {
 			break
 		}
 		// Freeze every unfrozen flow on the bottleneck link at the share.
-		for _, fid := range n.linkFlows[bestLink] {
-			if frozen[fid] {
+		for _, f := range n.linkFlows[bestLink] {
+			if frozen[f.ID] {
 				continue
 			}
-			f := n.flows[fid]
-			frozen[fid] = true
+			frozen[f.ID] = true
 			f.rate = bestShare
 			for _, eid := range f.Path.Edges {
 				capLeft[eid] -= bestShare
@@ -392,19 +514,90 @@ func (n *Network) reallocate() {
 			}
 		}
 	}
+}
 
-	now := n.eng.Now()
-	for _, f := range n.orderedFlows() {
-		if f.finish != nil {
-			n.eng.Cancel(f.finish)
-			f.finish = nil
+// waterfillComponent is the fast allocator. Max-min rates decompose over
+// connected components of the link-sharing graph: a change confined to one
+// component cannot move any other component's fixed point. So it BFSes the
+// component reachable from the dirty edges (through currently active flows),
+// then runs the same progressive filling as the reference — identical
+// iteration orders over the same slices, hence bit-identical arithmetic —
+// restricted to that component. Flows elsewhere keep their previously
+// computed (still exact) rates. Scratch is epoch-stamped: no clearing, no
+// allocation once the slices have grown to the component's size.
+func (n *Network) waterfillComponent(dirty []topology.EdgeID) {
+	n.epoch++
+	ep := n.epoch
+	links := n.compLinks[:0]
+	queue := n.linkQueue[:0]
+	for _, eid := range dirty {
+		if len(n.linkFlows[eid]) == 0 || n.linkEpoch[eid] == ep {
+			continue
 		}
-		if f.rate <= 0 {
-			continue // stalled: no event until capacity frees up
+		n.linkEpoch[eid] = ep
+		queue = append(queue, eid)
+	}
+	compFlows := 0
+	for len(queue) > 0 {
+		eid := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		links = append(links, eid)
+		n.capLeft[eid] = n.effectiveCapacity(eid)
+		n.count[eid] = len(n.linkFlows[eid])
+		for _, f := range n.linkFlows[eid] {
+			if f.compEpoch == ep {
+				continue
+			}
+			f.compEpoch = ep
+			compFlows++
+			for _, e2 := range f.Path.Edges {
+				if n.linkEpoch[e2] != ep && len(n.linkFlows[e2]) > 0 {
+					n.linkEpoch[e2] = ep
+					queue = append(queue, e2)
+				}
+			}
 		}
-		eta := f.remaining / f.rate
-		fl := f
-		f.finish = n.eng.Schedule(now+eta, func() { n.finishFlow(fl) })
+	}
+	n.compLinks = links // keep grown capacity for reuse
+	n.linkQueue = queue[:0]
+
+	frozen := 0
+	for frozen < compFlows {
+		// Most constrained component link. links is in BFS order, so the
+		// reference path's lowest-edge-id tie-break is made explicit here:
+		// the result is the lexicographic minimum of (share, edge id),
+		// exactly what the reference's ascending strict-< scan selects.
+		bestShare := math.Inf(1)
+		bestLink := topology.EdgeID(-1)
+		for _, eid := range links {
+			c := n.count[eid]
+			if c == 0 {
+				continue
+			}
+			share := n.capLeft[eid] / float64(c)
+			if share < bestShare || (share == bestShare && eid < bestLink) {
+				bestShare = share
+				bestLink = eid
+			}
+		}
+		if bestLink < 0 {
+			break
+		}
+		for _, f := range n.linkFlows[bestLink] {
+			if f.frozenEpoch == ep {
+				continue
+			}
+			f.frozenEpoch = ep
+			f.rate = bestShare
+			frozen++
+			for _, eid := range f.Path.Edges {
+				n.capLeft[eid] -= bestShare
+				if n.capLeft[eid] < 0 {
+					n.capLeft[eid] = 0
+				}
+				n.count[eid]--
+			}
+		}
 	}
 }
 
@@ -416,7 +609,7 @@ func (n *Network) finishFlow(f *Flow) {
 	f.remaining = 0
 	f.finish = nil
 	n.remove(f)
-	n.reallocate()
+	n.reallocate(f.Path.Edges)
 	if f.latency > 0 {
 		n.eng.After(f.latency, func() { n.complete(f) })
 	} else {
@@ -428,8 +621,8 @@ func (n *Network) finishFlow(f *Flow) {
 // bytes/second.
 func (n *Network) EdgeRate(eid topology.EdgeID) float64 {
 	var sum float64
-	for _, fid := range n.linkFlows[eid] {
-		sum += n.flows[fid].rate
+	for _, f := range n.linkFlows[eid] {
+		sum += f.rate
 	}
 	return sum
 }

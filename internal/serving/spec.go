@@ -250,6 +250,15 @@ type Options struct {
 	// SLA verdicts (sla_requests_total{verdict}) using exactly the
 	// Results.Attainment criterion.
 	SLA *SLA
+
+	// ReferenceNetsim selects the reference (global, allocating)
+	// water-filling allocator instead of the incremental fast path. Output
+	// is bit-identical either way (see internal/netsim); the reference
+	// exists as the differential-testing oracle and benchmark baseline.
+	ReferenceNetsim bool
+	// ReferenceSim selects the reference binary-heap event queue instead of
+	// the timer-wheel fast path. Bit-identical output, same purpose.
+	ReferenceSim bool
 }
 
 func (o *Options) setDefaults() {

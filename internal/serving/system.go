@@ -117,7 +117,13 @@ func New(g *topology.Graph, dep Deployment, opts Options) (*System, error) {
 	}
 	opts.setDefaults()
 	eng := sim.NewEngine()
+	if opts.ReferenceSim {
+		eng = sim.NewReferenceEngine()
+	}
 	net := netsim.New(g, eng)
+	if opts.ReferenceNetsim {
+		net = netsim.NewReference(g, eng)
+	}
 	var router collective.Router = collective.NewStaticRouter(g)
 	if opts.RouterFactory != nil {
 		router = opts.RouterFactory(net)

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The differential harness drives the reference heap engine and the fast
+// wheel engine through one and the same pre-generated script and asserts
+// they are indistinguishable: identical callback sequences (timestamp bits
+// and identity), identical Processed/Pending/PendingWork counters after
+// every step, identical clocks.
+//
+// A script is a forest of event nodes generated up front from a seed, so
+// both runs interpret exactly the same structure: roots are scheduled at
+// absolute times; every executed node may schedule children (After /
+// AfterDaemon) and cancel an earlier node's event. Cancellations of pending
+// events are the load-bearing part — the reference engine removes them
+// eagerly, the fast engine tombstones them — and the interleaving with
+// same-timestamp scheduling exercises the FIFO tie-break.
+
+type scriptNode struct {
+	rootAt   Time    // absolute schedule time (roots only)
+	delay    Time    // After() delay when scheduled as a child
+	daemon   bool    // scheduled via the daemon variants
+	children []int   // node ids scheduled from this node's callback
+	cancels  int     // node id whose event to cancel from the callback; -1 none
+	isRoot   bool
+}
+
+// genScript builds a deterministic forest of n nodes.
+func genScript(seed int64, n int) []scriptNode {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := make([]scriptNode, n)
+	roots := n / 10
+	if roots < 1 {
+		roots = 1
+	}
+	for i := range nodes {
+		nd := &nodes[i]
+		if i < roots {
+			nd.isRoot = true
+			// Coarse grid: forces plenty of exact timestamp collisions.
+			nd.rootAt = Time(rng.Intn(200)) / 8.0
+		} else {
+			// Attach to an earlier node. Delays on a coarse grid, with a
+			// heavy dose of zero delays (same-instant chains).
+			parent := rng.Intn(i)
+			nodes[parent].children = append(nodes[parent].children, i)
+			nd.delay = Time(rng.Intn(40)) / 16.0
+			if rng.Intn(4) == 0 {
+				nd.delay = 0
+			}
+		}
+		nd.daemon = rng.Intn(8) == 0
+		nd.cancels = -1
+		if i > 0 && rng.Intn(3) == 0 {
+			nd.cancels = rng.Intn(i)
+		}
+	}
+	return nodes
+}
+
+type scriptRun struct {
+	eng    *Engine
+	nodes  []scriptNode
+	events []*Event
+	// log records (node id, timestamp bits) per executed callback.
+	logIDs []int
+	logAts []uint64
+}
+
+func newScriptRun(eng *Engine, nodes []scriptNode) *scriptRun {
+	r := &scriptRun{eng: eng, nodes: nodes, events: make([]*Event, len(nodes))}
+	for i := range nodes {
+		if nodes[i].isRoot {
+			i := i
+			if nodes[i].daemon {
+				r.events[i] = eng.ScheduleDaemon(nodes[i].rootAt, func() { r.fire(i) })
+			} else {
+				r.events[i] = eng.Schedule(nodes[i].rootAt, func() { r.fire(i) })
+			}
+		}
+	}
+	return r
+}
+
+func (r *scriptRun) fire(i int) {
+	r.logIDs = append(r.logIDs, i)
+	r.logAts = append(r.logAts, math.Float64bits(r.eng.Now()))
+	nd := &r.nodes[i]
+	for _, c := range nd.children {
+		c := c
+		if r.nodes[c].daemon {
+			r.events[c] = r.eng.AfterDaemon(r.nodes[c].delay, func() { r.fire(c) })
+		} else {
+			r.events[c] = r.eng.After(r.nodes[c].delay, func() { r.fire(c) })
+		}
+	}
+	if nd.cancels >= 0 {
+		r.eng.Cancel(r.events[nd.cancels]) // nil-safe: target may be unscheduled
+	}
+}
+
+// lockstep mirrors Run()'s loop on both engines simultaneously, comparing
+// all externally observable engine state after every single step.
+func lockstep(t *testing.T, ref, fast *scriptRun, checkpoints []Time) {
+	t.Helper()
+	cmp := func(step int) {
+		t.Helper()
+		if a, b := ref.eng.Now(), fast.eng.Now(); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("step %d: Now ref=%g fast=%g", step, a, b)
+		}
+		if a, b := ref.eng.Processed(), fast.eng.Processed(); a != b {
+			t.Fatalf("step %d: Processed ref=%d fast=%d", step, a, b)
+		}
+		if a, b := ref.eng.Pending(), fast.eng.Pending(); a != b {
+			t.Fatalf("step %d: Pending ref=%d fast=%d", step, a, b)
+		}
+		if a, b := ref.eng.PendingWork(), fast.eng.PendingWork(); a != b {
+			t.Fatalf("step %d: PendingWork ref=%d fast=%d", step, a, b)
+		}
+		if len(ref.logIDs) != len(fast.logIDs) {
+			t.Fatalf("step %d: log length ref=%d fast=%d", step, len(ref.logIDs), len(fast.logIDs))
+		}
+		for k := range ref.logIDs {
+			if ref.logIDs[k] != fast.logIDs[k] || ref.logAts[k] != fast.logAts[k] {
+				t.Fatalf("step %d: log[%d] ref=(%d,%x) fast=(%d,%x)", step, k,
+					ref.logIDs[k], ref.logAts[k], fast.logIDs[k], fast.logAts[k])
+			}
+		}
+	}
+	step := 0
+	// Exercise RunUntil's peek path at a few deadlines before draining.
+	for _, ckpt := range checkpoints {
+		ref.eng.RunUntil(ckpt)
+		fast.eng.RunUntil(ckpt)
+		step++
+		cmp(step)
+	}
+	for {
+		ra, rb := ref.eng.PendingWork() > 0, fast.eng.PendingWork() > 0
+		if ra != rb {
+			t.Fatalf("step %d: PendingWork>0 ref=%v fast=%v", step, ra, rb)
+		}
+		if !ra {
+			break
+		}
+		sa, sb := ref.eng.Step(), fast.eng.Step()
+		if sa != sb {
+			t.Fatalf("step %d: Step ref=%v fast=%v", step, sa, sb)
+		}
+		step++
+		cmp(step)
+		if !sa {
+			break
+		}
+	}
+	cmp(step)
+}
+
+// TestDifferentialEngines drives both engines through long randomized
+// scripts (>= 10k nodes per seed, >= 3 seeds) and requires exact agreement
+// at every step.
+func TestDifferentialEngines(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	size := 12000
+	if testing.Short() {
+		seeds = seeds[:3]
+		size = 10000
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			nodes := genScript(seed, size)
+			ref := newScriptRun(NewReferenceEngine(), nodes)
+			fast := newScriptRun(NewEngine(), nodes)
+			lockstep(t, ref, fast, []Time{1.5, 7.25, 13})
+			if len(ref.logIDs) == 0 {
+				t.Fatal("script executed no events")
+			}
+		})
+	}
+}

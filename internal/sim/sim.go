@@ -6,6 +6,17 @@
 // for events scheduled at the same instant. Simulated time is a float64
 // number of seconds; no wall-clock time is ever consulted, so runs are fully
 // reproducible.
+//
+// Two queue implementations back the engine. NewEngine returns the fast
+// path: cancellation is lazy (a tombstone flag, discarded when the event
+// surfaces, instead of an O(log n) heap sift per Cancel) and near-future
+// events live in a bucketed window that is sorted one bucket at a time, with
+// a binary heap holding only the far future. NewReferenceEngine returns the
+// original pure-heap implementation with eager removal. Both pop events in
+// exactly the same (time, FIFO) order — internal/sim/differential_test.go
+// locksteps them over long randomized scripts — so they are behaviorally
+// interchangeable; the reference path exists as the equivalence oracle and
+// benchmark baseline.
 package sim
 
 import (
@@ -27,7 +38,7 @@ type Event struct {
 	at     Time
 	seq    uint64 // tie-break: FIFO among equal timestamps
 	fn     func()
-	index  int // heap index; -1 when not queued
+	index  int // heap index when heap-resident; >= 0 while queued, -1 otherwise
 	cancel bool
 	daemon bool
 }
@@ -42,16 +53,19 @@ func (e *Event) Cancelled() bool { return e.cancel }
 // ScheduleDaemon).
 func (e *Event) Daemon() bool { return e.daemon }
 
+// before reports whether e precedes o in the engine's total order.
+func (e *Event) before(o *Event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
 type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
+func (q eventQueue) Less(i, j int) bool { return q[i].before(q[j]) }
 
 func (q eventQueue) Swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
@@ -75,22 +89,84 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// front is a pending-event container. Both implementations surface live
+// events in exactly (at, seq) order; they differ in how cancellation and
+// insertion are amortized.
+type front interface {
+	// push enqueues a freshly scheduled event.
+	push(*Event)
+	// pop removes and returns the earliest live event, discarding any
+	// cancelled events encountered on the way. It returns nil when no live
+	// event remains.
+	pop() *Event
+	// peek returns the earliest live event without removing it (discarding
+	// cancelled events on the way), or nil when none remains.
+	peek() *Event
+	// remove is told that the (still queued) event was just cancelled. The
+	// reference front deletes it eagerly; the fast front leaves a tombstone.
+	remove(*Event)
+}
+
+// heapFront is the reference queue: a binary heap with eager O(log n)
+// removal on Cancel. It never holds tombstones.
+type heapFront struct {
+	q eventQueue
+}
+
+func (f *heapFront) push(e *Event) { heap.Push(&f.q, e) }
+
+func (f *heapFront) pop() *Event {
+	for len(f.q) > 0 {
+		e := heap.Pop(&f.q).(*Event)
+		if !e.cancel {
+			return e
+		}
+	}
+	return nil
+}
+
+func (f *heapFront) peek() *Event {
+	for len(f.q) > 0 && f.q[0].cancel {
+		heap.Pop(&f.q)
+	}
+	if len(f.q) == 0 {
+		return nil
+	}
+	return f.q[0]
+}
+
+func (f *heapFront) remove(e *Event) {
+	heap.Remove(&f.q, e.index)
+	e.index = -1
+}
+
 // Engine is a discrete-event simulator. The zero value is not usable; call
-// NewEngine.
+// NewEngine (fast queue) or NewReferenceEngine (reference heap).
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	front   front
 	nextSeq uint64
 	// processed counts events that have executed (not cancelled ones).
 	processed uint64
+	// live counts queued events that have not been cancelled.
+	live int
 	// work counts queued non-daemon events: the events that represent real
 	// simulated activity rather than periodic housekeeping.
 	work int
 }
 
-// NewEngine returns an engine with the clock at zero and an empty queue.
+// NewEngine returns an engine with the clock at zero and an empty queue,
+// backed by the fast lazy-cancellation queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{front: newWheelFront()}
+}
+
+// NewReferenceEngine returns an engine backed by the original binary-heap
+// queue with eager cancellation. It processes any schedule in exactly the
+// same order as NewEngine; it exists as the differential-testing oracle and
+// the benchmark baseline.
+func NewReferenceEngine() *Engine {
+	return &Engine{front: &heapFront{}}
 }
 
 // Now returns the current simulated time.
@@ -99,9 +175,8 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events still queued (including cancelled
-// events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live (not cancelled) events still queued.
+func (e *Engine) Pending() int { return e.live }
 
 // PendingWork returns the number of queued non-daemon events. Periodic
 // control loops should consult it — not Pending — when deciding whether to
@@ -118,7 +193,8 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	}
 	ev := &Event{at: at, seq: e.nextSeq, fn: fn, index: -1}
 	e.nextSeq++
-	heap.Push(&e.queue, ev)
+	e.front.push(ev)
+	e.live++
 	e.work++
 	return ev
 }
@@ -152,31 +228,29 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	ev.cancel = true
 	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
-		ev.index = -1
+		e.live--
 		if !ev.daemon {
 			e.work--
 		}
+		e.front.remove(ev)
 	}
 }
 
 // Step executes the next pending event. It returns false when the queue is
 // empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if !ev.daemon {
-			e.work--
-		}
-		if ev.cancel {
-			continue
-		}
-		e.now = ev.at
-		e.processed++
-		ev.fn()
-		return true
+	ev := e.front.pop()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.live--
+	if !ev.daemon {
+		e.work--
+	}
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
 }
 
 // Run executes events until no real work remains. Daemon events still queued
@@ -191,17 +265,9 @@ func (e *Engine) Run() {
 // clock to deadline (if it is ahead of the last event). Events scheduled
 // after deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.queue) > 0 {
-		// Peek: queue[0] is the earliest event.
-		next := e.queue[0]
-		if next.cancel {
-			heap.Pop(&e.queue)
-			if !next.daemon {
-				e.work--
-			}
-			continue
-		}
-		if next.at > deadline {
+	for {
+		next := e.front.peek()
+		if next == nil || next.at > deadline {
 			break
 		}
 		e.Step()

@@ -1,0 +1,356 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// wheelBuckets is the number of buckets in the near-future window. With the
+// width heuristic below (~8 expected events per bucket) one window refill
+// absorbs a few hundred events before touching the far heap again.
+const wheelBuckets = 64
+
+// wheelFront is the fast event queue: a bucketed near-future window in front
+// of a far-future heap, with lazy cancellation.
+//
+// Layout. The window covers [winLo, winHi) split into wheelBuckets
+// equal-width buckets; events land in their bucket unsorted, O(1). Buckets
+// drain in order: when one becomes current it is sorted once into `run`, a
+// (at, seq)-ordered slice consumed from runPos. Everything at or past winHi
+// sits in the `far` binary heap. When the window drains, the next window is
+// rebuilt from the heap starting at its minimum, with the bucket width
+// adapted to the recent inter-event gap so a bucket holds a handful of
+// events regardless of the simulation's time scale.
+//
+// Cancellation leaves a tombstone (Event.cancel) that is discarded when the
+// event surfaces, instead of the reference path's O(log n) sift; a
+// compaction pass rebuilds the structures when tombstones outnumber live
+// events, so cancel storms (netsim rescheduling every flow per
+// reallocation) cannot grow the queue unboundedly.
+//
+// The pop order is exactly the reference heap's (at, seq) order: buckets
+// partition the window by time range, each bucket is sorted before it
+// drains, and insertions below the drain line go through an ordered insert
+// into the live part of run.
+type wheelFront struct {
+	run    []*Event // current sorted run; run[runPos:] are pending
+	runPos int
+	// runEnd is the exclusive upper time bound covered by run together with
+	// the already-drained buckets: any event with at < runEnd must be
+	// order-inserted into run, never placed in a bucket.
+	runEnd Time
+
+	buckets   [wheelBuckets][]*Event
+	curBucket int // next bucket to drain; buckets below it are empty
+	winLo     Time
+	winHi     Time
+	width     float64
+
+	far eventQueue // min-heap of events with at >= winHi
+
+	live       int // queued, not cancelled
+	tombstones int // queued, cancelled, not yet discarded
+
+	// gapEWMA tracks the smoothed gap between consecutive popped timestamps;
+	// it sets the bucket width at the next window rebuild.
+	gapEWMA  float64
+	lastAt   Time
+	haveLast bool
+}
+
+func newWheelFront() *wheelFront {
+	neg := math.Inf(-1)
+	return &wheelFront{runEnd: neg, winLo: neg, winHi: neg, curBucket: wheelBuckets}
+}
+
+func (f *wheelFront) push(e *Event) {
+	e.index = 0 // queued marker; far-heap residents get their real index
+	f.live++
+	switch {
+	case e.at < f.runEnd:
+		f.insertRun(e)
+	case e.at < f.winHi:
+		idx := int((e.at - f.winLo) / f.width)
+		if idx >= wheelBuckets {
+			idx = wheelBuckets - 1
+		}
+		if idx < f.curBucket {
+			// Float rounding landed it below the drain line; keep order by
+			// inserting into the live run instead.
+			f.insertRun(e)
+			return
+		}
+		f.buckets[idx] = append(f.buckets[idx], e)
+	default:
+		heap.Push(&f.far, e)
+	}
+}
+
+// insertRun places e into the pending part of run, keeping (at, seq) order.
+func (f *wheelFront) insertRun(e *Event) {
+	lo, hi := f.runPos, len(f.run)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.run[mid].before(e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	f.run = append(f.run, nil)
+	copy(f.run[lo+1:], f.run[lo:])
+	f.run[lo] = e
+}
+
+// settle makes run[runPos] the earliest live event, draining buckets and
+// refilling the window from the far heap as needed. It discards tombstones
+// it passes. Returns false when no live event remains.
+func (f *wheelFront) settle() bool {
+	// Reclaim the consumed prefix of a long-lived run so a window that keeps
+	// receiving order-inserts does not grow without bound.
+	if f.runPos > 64 && f.runPos*2 >= len(f.run) {
+		n := copy(f.run, f.run[f.runPos:])
+		tail := f.run[n:]
+		for i := range tail {
+			tail[i] = nil
+		}
+		f.run = f.run[:n]
+		f.runPos = 0
+	}
+	for {
+		for f.runPos < len(f.run) {
+			e := f.run[f.runPos]
+			if !e.cancel {
+				return true
+			}
+			f.discard(f.runPos)
+		}
+		// Run exhausted: recycle it and pull the next non-empty bucket.
+		f.run = f.run[:0]
+		f.runPos = 0
+		advanced := false
+		for f.curBucket < wheelBuckets {
+			b := f.buckets[f.curBucket]
+			f.buckets[f.curBucket] = b[:0]
+			f.curBucket++
+			if f.curBucket == wheelBuckets {
+				f.runEnd = f.winHi // exact: avoids float drift at the seam
+			} else {
+				f.runEnd = f.winLo + float64(f.curBucket)*f.width
+			}
+			if len(b) > 0 {
+				f.run = append(f.run, b...)
+				sortEvents(f.run)
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		if len(f.far) == 0 {
+			return false
+		}
+		f.rebuildWindow()
+	}
+}
+
+// discard drops the (cancelled) event at run position i.
+func (f *wheelFront) discard(i int) {
+	e := f.run[i]
+	e.index = -1
+	f.run[i] = nil
+	f.runPos = i + 1
+	f.tombstones--
+}
+
+// rebuildWindow starts a fresh window at the far heap's minimum and moves
+// every heap event inside it into the buckets.
+func (f *wheelFront) rebuildWindow() {
+	first := heap.Pop(&f.far).(*Event)
+	first.index = 0
+	f.winLo = first.at
+
+	w := f.gapEWMA * 8 // aim for ~8 events per bucket
+	// Keep the width meaningful: above zero, above the float resolution at
+	// winLo's magnitude, and finite. A too-wide window only means more
+	// events share a bucket (they get sorted together); a too-narrow one
+	// would bounce every event off the far heap.
+	if minW := math.Abs(f.winLo) * 1e-9; w < minW {
+		w = minW
+	}
+	if w <= 0 {
+		w = 1e-12
+	}
+	hi := f.winLo + float64(wheelBuckets)*w
+	if math.IsInf(hi, 1) || !(hi > f.winLo) {
+		hi = math.MaxFloat64
+	}
+	f.width = w
+	f.winHi = hi
+	f.curBucket = 0
+	f.runEnd = f.winLo
+
+	f.place(first)
+	for len(f.far) > 0 && f.far[0].at < hi {
+		e := heap.Pop(&f.far).(*Event)
+		e.index = 0
+		f.place(e)
+	}
+}
+
+// place drops a window-resident event into its bucket.
+func (f *wheelFront) place(e *Event) {
+	idx := int((e.at - f.winLo) / f.width)
+	if idx < 0 {
+		idx = 0
+	} else if idx >= wheelBuckets {
+		idx = wheelBuckets - 1
+	}
+	f.buckets[idx] = append(f.buckets[idx], e)
+}
+
+func (f *wheelFront) pop() *Event {
+	if !f.settle() {
+		return nil
+	}
+	e := f.run[f.runPos]
+	f.run[f.runPos] = nil
+	f.runPos++
+	e.index = -1
+	f.live--
+	if f.haveLast && e.at > f.lastAt {
+		gap := e.at - f.lastAt
+		f.gapEWMA = 0.75*f.gapEWMA + 0.25*gap
+	}
+	f.lastAt = e.at
+	f.haveLast = true
+	return e
+}
+
+func (f *wheelFront) peek() *Event {
+	if !f.settle() {
+		return nil
+	}
+	return f.run[f.runPos]
+}
+
+func (f *wheelFront) remove(e *Event) {
+	// Lazy: e.cancel is already set; leave the tombstone where it is.
+	f.live--
+	f.tombstones++
+	if f.tombstones > 64 && f.tombstones > f.live {
+		f.compact()
+	}
+}
+
+// compact drops every tombstone in place, preserving the current window:
+// the pending part of run keeps its order, buckets keep their (unsorted)
+// contents, and the far heap is filtered and re-heapified. Not resetting the
+// window matters — netsim's reallocation pattern (cancel every flow's event,
+// reschedule it at a nearby time) triggers compaction constantly, and a
+// window rebuild on each would cost more than the eager reference removes.
+func (f *wheelFront) compact() {
+	w := f.runPos
+	for i := f.runPos; i < len(f.run); i++ {
+		e := f.run[i]
+		if e.cancel {
+			e.index = -1
+			f.tombstones--
+		} else {
+			f.run[w] = e
+			w++
+		}
+	}
+	for i := w; i < len(f.run); i++ {
+		f.run[i] = nil
+	}
+	f.run = f.run[:w]
+
+	for i := f.curBucket; i < wheelBuckets; i++ {
+		b := f.buckets[i]
+		k := 0
+		for _, e := range b {
+			if e.cancel {
+				e.index = -1
+				f.tombstones--
+			} else {
+				b[k] = e
+				k++
+			}
+		}
+		for j := k; j < len(b); j++ {
+			b[j] = nil
+		}
+		f.buckets[i] = b[:k]
+	}
+
+	kept := f.far[:0]
+	for _, e := range f.far {
+		if e.cancel {
+			e.index = -1
+			f.tombstones--
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	f.far = kept
+	for i, e := range f.far {
+		e.index = i
+	}
+	heap.Init(&f.far)
+}
+
+// sortEvents orders events by (at, seq) with an allocation-free
+// insertion/quick hybrid (sort.Slice would allocate its closure on every
+// bucket drain, which is the hot path).
+func sortEvents(s []*Event) {
+	if len(s) < 2 {
+		return
+	}
+	if len(s) <= 24 {
+		insertionSortEvents(s)
+		return
+	}
+	// Median-of-three pivot.
+	m := len(s) / 2
+	lo, hi := 0, len(s)-1
+	if s[m].before(s[lo]) {
+		s[m], s[lo] = s[lo], s[m]
+	}
+	if s[hi].before(s[lo]) {
+		s[hi], s[lo] = s[lo], s[hi]
+	}
+	if s[hi].before(s[m]) {
+		s[hi], s[m] = s[m], s[hi]
+	}
+	pivot := s[m]
+	i, j := 0, len(s)-1
+	for i <= j {
+		for s[i].before(pivot) {
+			i++
+		}
+		for pivot.before(s[j]) {
+			j--
+		}
+		if i <= j {
+			s[i], s[j] = s[j], s[i]
+			i++
+			j--
+		}
+	}
+	sortEvents(s[:j+1])
+	sortEvents(s[i:])
+}
+
+func insertionSortEvents(s []*Event) {
+	for i := 1; i < len(s); i++ {
+		e := s[i]
+		j := i - 1
+		for j >= 0 && e.before(s[j]) {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = e
+	}
+}

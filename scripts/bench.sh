@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Committed benchmark harness for the simulator fast paths.
+#
+#   scripts/bench.sh run     # run the pinned benchmarks, write BENCH_6.json
+#   scripts/bench.sh check   # quick re-run; WARN (exit 0) when ns/op has
+#                            # regressed >20% against the committed
+#                            # BENCH_6.json — a tripwire, not a gate, since
+#                            # shared CI runners make absolute timings noisy
+#
+# The pinned set covers the two tentpole fast paths against their reference
+# implementations:
+#   - netsim reallocation at 10/100/1000 concurrent flows (incremental
+#     component water-filling vs global fixed point), ns/op + allocs/op +
+#     reallocs/s
+#   - sustained flow churn through completions, events/s
+#   - engine event-queue primitives (timer wheel vs binary heap): steady
+#     schedule/step and the cancel/reschedule storm netsim generates
+#   - one end-to-end serve run on both paths
+#
+# Overridables: BENCH_TIME (go -benchtime for micro benches), BENCH_E2E_TIME
+# (e2e serve iterations), BENCH_OUT (output path).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-run}"
+if [[ "$mode" != "run" && "$mode" != "check" ]]; then
+	echo "usage: scripts/bench.sh run|check" >&2
+	exit 2
+fi
+
+OUT="${BENCH_OUT:-BENCH_6.json}"
+benchtime="${BENCH_TIME:-1s}"
+e2etime="${BENCH_E2E_TIME:-3x}"
+if [[ "$mode" == "check" ]]; then
+	benchtime="${BENCH_TIME:-0.3s}"
+	e2etime="${BENCH_E2E_TIME:-2x}"
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "bench: netsim (benchtime $benchtime)" >&2
+go test -run '^$' -bench 'BenchmarkReallocate|BenchmarkFlowChurn' \
+	-benchtime "$benchtime" ./internal/netsim/ | tee -a "$raw"
+echo "bench: sim engine (benchtime $benchtime)" >&2
+go test -run '^$' -bench 'BenchmarkEngineScheduleStep|BenchmarkEngineCancelReschedule' \
+	-benchtime "$benchtime" ./internal/sim/ | tee -a "$raw"
+echo "bench: end-to-end serve (benchtime $e2etime)" >&2
+go test -run '^$' -bench 'BenchmarkEndToEndServe(Ref)?$' \
+	-benchtime "$e2etime" . | tee -a "$raw"
+
+export BENCH_MODE="$mode" BENCH_JSON="$OUT" GO_VERSION="$(go version)"
+python3 - "$raw" <<'PYEOF'
+import json, os, sys
+
+raw_path = sys.argv[1]
+results = {}
+for line in open(raw_path):
+    parts = line.split()
+    if not parts or not parts[0].startswith("Benchmark"):
+        continue
+    # BenchmarkName/sub=x-8  N  v1 unit1  v2 unit2 ...
+    name = parts[0].rsplit("-", 1)[0]
+    entry = {"iterations": int(parts[1])}
+    vals = parts[2:]
+    for v, unit in zip(vals[::2], vals[1::2]):
+        key = unit.replace("/", "_per_").replace("-", "_")
+        entry[key] = float(v)
+    results[name] = entry
+
+def ns(name):
+    e = results.get(name)
+    return e["ns_per_op"] if e else None
+
+derived = {}
+for flows in (10, 100, 1000):
+    fast = ns(f"BenchmarkReallocate/impl=fast/flows={flows}")
+    ref = ns(f"BenchmarkReallocate/impl=ref/flows={flows}")
+    if fast and ref:
+        derived[f"reallocate_flows{flows}_speedup"] = round(ref / fast, 3)
+fast, ref = ns("BenchmarkFlowChurn/impl=fast"), ns("BenchmarkFlowChurn/impl=ref")
+if fast and ref:
+    derived["flow_churn_speedup"] = round(ref / fast, 3)
+fast, ref = ns("BenchmarkEndToEndServe"), ns("BenchmarkEndToEndServeRef")
+if fast and ref:
+    derived["end_to_end_serve_speedup"] = round(ref / fast, 3)
+
+doc = {
+    "_comment": "Committed by scripts/bench.sh run; scripts/bench.sh check "
+                "warns when ns_per_op regresses >20% against this file.",
+    "go": os.environ.get("GO_VERSION", ""),
+    "results": results,
+    "derived": derived,
+}
+
+mode = os.environ.get("BENCH_MODE", "run")
+out = os.environ.get("BENCH_JSON", "BENCH_6.json")
+if mode == "run":
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench: wrote {out}")
+    for k, v in sorted(derived.items()):
+        print(f"bench: {k} = {v}x")
+    sys.exit(0)
+
+# check: warn-only comparison against the committed baseline.
+if not os.path.exists(out):
+    print(f"bench: WARNING no committed {out} to compare against", file=sys.stderr)
+    sys.exit(0)
+base = json.load(open(out))["results"]
+regressed = []
+for name, entry in sorted(results.items()):
+    b = base.get(name)
+    if not b or "ns_per_op" not in b or "ns_per_op" not in entry:
+        continue
+    ratio = entry["ns_per_op"] / b["ns_per_op"]
+    status = "ok"
+    if ratio > 1.20:
+        status = "REGRESSED"
+        regressed.append((name, ratio))
+    print(f"bench: {status} {name}: {entry['ns_per_op']:.0f} ns/op vs committed {b['ns_per_op']:.0f} ({ratio:.2f}x)")
+for name, ratio in regressed:
+    print(f"bench: WARNING {name} ns/op regressed {ratio:.2f}x vs committed {out}", file=sys.stderr)
+if not regressed:
+    print("bench: no ns/op regressions >20% vs committed baseline")
+PYEOF

@@ -70,4 +70,17 @@ python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['tables'][
 echo "== golden metrics"
 GOLDEN_DIFF_DIR="$ART/golden-diff" scripts/golden.sh check
 
+# Fast-vs-reference equivalence gate: the same matrix forced onto the
+# reference simulator paths (-netsim-ref -sim-ref) must hit the SAME goldens.
+# A failure here means the incremental water-filling or the timer-wheel
+# event queue diverged behaviourally from its reference implementation.
+echo "== golden metrics (reference simulator paths)"
+GOLDEN_DIFF_DIR="$ART/golden-ref-diff" scripts/golden.sh refcheck
+
+# Benchmark regression tripwire: re-run the pinned benches briefly and WARN
+# (never fail — shared runners are noisy) when ns/op regresses >20% against
+# the committed BENCH_6.json.
+echo "== bench check (warn-only)"
+scripts/bench.sh check || echo "bench: check failed to run (non-fatal)" >&2
+
 echo "CI OK"

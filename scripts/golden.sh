@@ -7,6 +7,11 @@
 # sharper signal than test pass/fail.
 #
 #   scripts/golden.sh check    # run the pinned matrix, diff against goldens
+#   scripts/golden.sh refcheck # same matrix forced onto the reference
+#                              # simulator paths (-netsim-ref -sim-ref); must
+#                              # match the SAME goldens — proving the fast
+#                              # incremental water-filling and timer-wheel
+#                              # event queue are behaviourally identical
 #   scripts/golden.sh regen    # refresh testdata/golden/ after an
 #                              # INTENTIONAL behaviour change (review the diff!)
 #
@@ -26,9 +31,16 @@ cd "$(dirname "$0")/.."
 GOLDEN_DIR=testdata/golden
 OUT_DIR="${GOLDEN_OUT_DIR:-$(mktemp -d)}"
 mode="${1:-}"
-if [[ "$mode" != "check" && "$mode" != "regen" ]]; then
-	echo "usage: scripts/golden.sh check|regen" >&2
+if [[ "$mode" != "check" && "$mode" != "refcheck" && "$mode" != "regen" ]]; then
+	echo "usage: scripts/golden.sh check|refcheck|regen" >&2
 	exit 2
+fi
+
+# refcheck pins the reference simulator implementations to the same goldens
+# the fast paths produce: any divergence between the two is a gate failure.
+EXTRA_SV=""
+if [[ "$mode" == "refcheck" ]]; then
+	EXTRA_SV="-netsim-ref -sim-ref"
 fi
 
 BIN="$OUT_DIR/bin"
@@ -65,7 +77,7 @@ produce() {
 	# shellcheck disable=SC2086 # word-splitting of the arg strings is intended
 	"$BIN/tracegen" $tg > "$OUT_DIR/$name.trace.json"
 	# shellcheck disable=SC2086
-	"$BIN/serve" -trace "$OUT_DIR/$name.trace.json" $sv \
+	"$BIN/serve" -trace "$OUT_DIR/$name.trace.json" $sv $EXTRA_SV \
 		-metrics-out "$OUT_DIR/$name.raw.prom" \
 		-trace-out "$OUT_DIR/$name.spans.json" > /dev/null
 	LC_ALL=C sort "$OUT_DIR/$name.raw.prom" > "$OUT_DIR/$name.prom"
@@ -118,7 +130,10 @@ while IFS='|' read -r name tg sv; do
 	fi
 done < <(cases)
 
-if [[ "$mode" == "check" && $status -ne 0 ]]; then
+if [[ "$mode" == "refcheck" && $status -ne 0 ]]; then
+	echo "golden: REFERENCE paths diverged from the committed goldens — the fast" >&2
+	echo "golden: and reference simulator implementations no longer agree." >&2
+elif [[ "$mode" != "regen" && $status -ne 0 ]]; then
 	echo "golden: metrics drifted from testdata/golden/." >&2
 	echo "golden: if the change is intentional, run scripts/golden.sh regen and commit the result." >&2
 fi
