@@ -1,0 +1,159 @@
+// Command decisionstat analyzes an exported decision ledger (the JSON from
+// cmd/serve's -decisions-out or the daemon's /decisions endpoint): every
+// control-plane choice of a run with its counterfactual cost vector. It
+// prints the per-scheme regret ranking of the collective-scheme picks, the
+// scale laws' shadow disagreement matrix, the expected-vs-realized latency
+// drift, and the single-run shadow ranking of the ScalePolicy laws — the
+// what-would-the-road-not-taken-have-cost twin of tracestat's where-did-the-
+// time-go breakdown.
+//
+// Usage:
+//
+//	serve -trace trace.json -decisions-out run.decisions.json ...
+//	decisionstat run.decisions.json
+//	decisionstat -regret run.decisions.json
+//	decisionstat -json run.decisions.json
+//	decisionstat -tsv run.decisions.json
+//	decisionstat -diff before.json after.json
+//
+// With -diff, two ledgers' summaries are compared side by side — which
+// scheme gained regret, which law started disagreeing. Output is
+// deterministic for deterministic runs, so the golden gate pins the -tsv
+// rendering per case.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"heroserve/internal/telemetry/decisions"
+)
+
+func main() {
+	diff := flag.Bool("diff", false, "compare two ledgers' summaries (takes two files)")
+	asJSON := flag.Bool("json", false, "emit summary + shadow ranking as JSON instead of text")
+	regret := flag.Bool("regret", false, "print only the regret rankings (schemes + shadow laws)")
+	tsv := flag.Bool("tsv", false, "emit the deterministic summary TSV (the golden-gate pin)")
+	flag.Parse()
+
+	args := flag.Args()
+	switch {
+	case *diff && len(args) == 2:
+		a := load(args[0])
+		b := load(args[1])
+		if err := decisions.FprintDiff(os.Stdout, a.Summarize(), b.Summarize()); err != nil {
+			fatalf("%v", err)
+		}
+	case !*diff && len(args) == 1:
+		led := load(args[0])
+		sum := led.Summarize()
+		ranks := led.ShadowRanking()
+		switch {
+		case *tsv:
+			if err := sum.WriteTSV(os.Stdout); err != nil {
+				fatalf("%v", err)
+			}
+		case *asJSON:
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(struct {
+				Summary       *decisions.Summary     `json:"summary"`
+				ShadowRanking []decisions.ShadowRank `json:"shadow_ranking,omitempty"`
+			}{sum, ranks}); err != nil {
+				fatalf("%v", err)
+			}
+		case *regret:
+			printSchemes(os.Stdout, sum)
+			printShadowRanking(os.Stdout, ranks)
+		default:
+			printSummary(os.Stdout, sum, ranks)
+		}
+	default:
+		fatalf("usage: decisionstat [-regret|-json|-tsv] run.decisions.json | decisionstat -diff a.json b.json")
+	}
+}
+
+// load parses one ledger file ("-" for stdin).
+func load(path string) *decisions.Ledger {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	led, err := decisions.ReadJSON(r)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	if led.Len() == 0 {
+		fmt.Fprintf(os.Stderr, "decisionstat: warning: %s holds no decision records (was the run telemetered?)\n", path)
+	}
+	return led
+}
+
+// printSummary renders the full text report.
+func printSummary(w io.Writer, s *decisions.Summary, ranks []decisions.ShadowRank) {
+	fmt.Fprintf(w, "decision ledger: %d collective picks, %d scale steps\n", s.Collective, s.Scale)
+	if s.Collective > 0 {
+		fmt.Fprintf(w, "execution regret %.6gs total, %d guard fallbacks, %d picks under control-plane stall\n",
+			s.TotalRegretSeconds, s.Fallbacks, s.Stalled)
+		printSchemes(w, s)
+	}
+	if s.Scale > 0 {
+		fmt.Fprintf(w, "\nscale laws (primary: %s; %d shadow disagreements)\n", s.Primary, s.Disagreements)
+		fmt.Fprintf(w, "  %-14s %10s %10s %10s %10s\n", "law", "scale_out", "scale_in", "hold", "disagree")
+		for _, l := range s.Laws {
+			fmt.Fprintf(w, "  %-14s %10d %10d %10d %10d\n", l.Law, l.ScaleOut, l.ScaleIn, l.Hold, l.Disagree)
+		}
+		if d := s.Drift; d != nil {
+			fmt.Fprintf(w, "expected-vs-realized drift over %d outcome windows (%d completions, attainment %.1f%%):\n",
+				d.Windows, d.Completed, d.Attainment*100)
+			fmt.Fprintf(w, "  TTFT signal %.3fs -> realized %.3fs (%+.3fs); TPOT signal %.4fs -> realized %.4fs (%+.4fs)\n",
+				d.MeanSignalTTFT, d.MeanRealizedTTFT, d.MeanRealizedTTFT-d.MeanSignalTTFT,
+				d.MeanSignalTPOT, d.MeanRealizedTPOT, d.MeanRealizedTPOT-d.MeanSignalTPOT)
+		}
+		printShadowRanking(w, ranks)
+	}
+}
+
+// printSchemes renders the per-scheme counterfactual table, cheapest first.
+func printSchemes(w io.Writer, s *decisions.Summary) {
+	if len(s.Schemes) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "counterfactual cost of always forcing a scheme (vs the optimum; lower is better):\n")
+	fmt.Fprintf(w, "  %-12s %14s %8s %8s %9s %7s\n", "scheme", "regret (s)", "chosen", "exec", "unpriced", "absent")
+	for _, st := range s.Schemes {
+		reg := fmt.Sprintf("%.6f", st.RegretSeconds)
+		if math.IsInf(st.RegretSeconds, 0) {
+			reg = "+Inf"
+		}
+		fmt.Fprintf(w, "  %-12s %14s %8d %8d %9d %7d\n",
+			st.Scheme, reg, st.Chosen, st.Executed, st.Unpriced, st.Absent)
+	}
+}
+
+// printShadowRanking renders the single-run counterfactual law ranking.
+func printShadowRanking(w io.Writer, ranks []decisions.ShadowRank) {
+	if len(ranks) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "shadow ranking (single-run counterfactual replay; attainment desc, GPU-seconds asc):\n")
+	fmt.Fprintf(w, "  %4s %-14s %12s %14s %8s %10s\n", "rank", "law", "est attain", "est GPU-s", "charged", "completed")
+	for _, r := range ranks {
+		fmt.Fprintf(w, "  %4d %-14s %11.1f%% %14.1f %8d %10d\n",
+			r.Rank, r.Law, r.EstAttainment*100, r.EstGPUSeconds, r.ChargedMisses, r.Completed)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "decisionstat: "+format+"\n", args...)
+	os.Exit(1)
+}

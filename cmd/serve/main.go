@@ -12,14 +12,16 @@
 // Daemon mode keeps a live observability plane up while the simulation runs
 // (and after it finishes, until interrupted): /metrics serves the Prometheus
 // exposition, /healthz liveness, /runs the completed-run summaries as JSON,
-// and /trace the current trace snapshot. With -daemon, -system accepts a
-// comma-separated list replayed sequentially against the same trace:
+// /decisions the counterfactual decision ledger, and /trace the current
+// trace snapshot. With -daemon, -system accepts a comma-separated list
+// replayed sequentially against the same trace:
 //
 //	serve -trace trace.json -daemon -listen :9090 -system heroserve,distserve
 //	curl localhost:9090/metrics
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -68,6 +70,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "stream Chrome trace-event JSON (Perfetto-loadable) here")
 	metricsOut := flag.String("metrics-out", "", "write text-format metrics here")
 	metricsFormat := flag.String("metrics-format", "prom", "metrics exposition format: prom | openmetrics")
+	decisionsOut := flag.String("decisions-out", "", "write the decision ledger (JSON; decisionstat-readable) here")
+	pushURL := flag.String("push-url", "", "POST metrics snapshots to this endpoint (pushgateway path layout appended unless present)")
+	pushEvery := flag.Float64("push-every", 15, "metrics push cadence in simulated seconds (with -push-url)")
 	netsimRef := flag.Bool("netsim-ref", false, "use the reference (global) water-filling allocator instead of the incremental fast path (bit-identical output)")
 	simRef := flag.Bool("sim-ref", false, "use the reference binary-heap event queue instead of the timer wheel (bit-identical output)")
 	daemon := flag.Bool("daemon", false, "serve /metrics /healthz /runs /trace over HTTP and stay up after the run")
@@ -95,6 +100,9 @@ func main() {
 	}
 	if *metricsFormat != "prom" && *metricsFormat != "openmetrics" {
 		fatalf("unknown -metrics-format %q (allowed: prom | openmetrics)", *metricsFormat)
+	}
+	if *pushURL != "" && *pushEvery <= 0 {
+		fatalf("-push-every must be positive")
 	}
 	if _, perr := serving.NewScalePolicy(*scalePolicy); perr != nil {
 		fatalf("%v", perr)
@@ -158,8 +166,17 @@ func main() {
 	// Telemetry: daemon mode always arms the hub; -trace-out selects the
 	// streaming tracer backend so long runs never buffer the trace in RAM.
 	var hub *telemetry.Hub
-	if *traceOut != "" || *metricsOut != "" || *daemon {
+	if *traceOut != "" || *metricsOut != "" || *daemon || *decisionsOut != "" || *pushURL != "" {
 		hub = telemetry.New()
+	}
+	var pusher *telemetry.Pusher
+	if *pushURL != "" {
+		var perr error
+		pusher, perr = telemetry.NewPusher(*pushURL, "heroserve", nil)
+		if perr != nil {
+			fatalf("%v", perr)
+		}
+		fmt.Printf("pushing metrics to %s every %gs (simulated)\n", pusher.URL(), *pushEvery)
 	}
 	var traceFile *os.File
 	if *traceOut != "" {
@@ -182,7 +199,7 @@ func main() {
 		if lerr != nil {
 			fatalf("daemon: %v", lerr)
 		}
-		fmt.Printf("daemon: serving /metrics /healthz /runs /trace on %s\n", ln.Addr())
+		fmt.Printf("daemon: serving /metrics /healthz /runs /decisions /trace on %s\n", ln.Addr())
 		go func() {
 			if serr := http.Serve(ln, srv); serr != nil {
 				fmt.Fprintf(os.Stderr, "serve: daemon http: %v\n", serr)
@@ -190,12 +207,28 @@ func main() {
 		}()
 	}
 
+	var push *pushState
+	if pusher != nil {
+		push = &pushState{pusher: pusher, every: *pushEvery}
+		// Pre-register the failure counter so a clean run still exports the
+		// family at 0 and scrapes can rate() it from the start.
+		hub.Metrics.Counter("telemetry_push_failures_total",
+			"Metrics push attempts dropped after exhausting retries.", nil)
+	}
 	for _, name := range sysNames {
 		runSystem(name, in, trace, hub, srv, runParams{
 			sla: sla, autoscale: *autoscale, scalePolicy: *scalePolicy,
 			elephants: *elephants, seed: *seed, publishEvery: *publishEvery,
 			netsimRef: *netsimRef, simRef: *simRef,
+			decisionsOut: *decisionsOut, push: push,
 		})
+	}
+	if pusher != nil {
+		pusher.Close()
+		// The push goroutine has exited: the failure count is final, so the
+		// exported expositions below carry the true total.
+		push.settle(hub)
+		fmt.Printf("pushed %d metric snapshots (%d failed)\n", pusher.Pushed(), pusher.Failures())
 	}
 
 	if *traceOut != "" {
@@ -236,6 +269,39 @@ type runParams struct {
 	publishEvery float64
 	netsimRef    bool
 	simRef       bool
+	decisionsOut string
+	push         *pushState
+}
+
+// pushState carries the metrics pusher plus the failure count already
+// mirrored into the telemetry_push_failures_total counter, across runs.
+type pushState struct {
+	pusher *telemetry.Pusher
+	every  float64
+	synced int64
+}
+
+// sync renders the registry, offers it to the push goroutine, and mirrors
+// any new failures into the registry counter. Runs on the sim goroutine.
+func (ps *pushState) sync(hub *telemetry.Hub) {
+	var buf bytes.Buffer
+	if err := hub.Metrics.WriteProm(&buf); err == nil {
+		ps.pusher.Offer(buf.Bytes())
+	}
+	ps.settle(hub)
+}
+
+// settle mirrors failures accumulated on the push goroutine into the
+// telemetry_push_failures_total counter. Called at sim-goroutine safe points
+// and once more after Close (when the count is final) so the exported
+// exposition reflects every drop.
+func (ps *pushState) settle(hub *telemetry.Hub) {
+	if f := ps.pusher.Failures(); f > ps.synced {
+		hub.Metrics.Counter("telemetry_push_failures_total",
+			"Metrics push attempts dropped after exhausting retries.", nil).
+			Add(float64(f - ps.synced))
+		ps.synced = f
+	}
 }
 
 // runSystem plans, builds, and replays the trace through one system,
@@ -282,7 +348,20 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 		eng := sys.Engine()
 		horizon := trace.Duration() + 120
 		for t := p.publishEvery; t < horizon; t += p.publishEvery {
-			eng.Schedule(t, func() { srv.PublishHub(hub) })
+			eng.Schedule(t, func() {
+				srv.PublishHub(hub)
+				publishDecisions(srv, sys)
+			})
+		}
+	}
+	if p.push != nil {
+		// Metric pushes ride the event loop the same way; the POST itself
+		// happens on the pusher's own goroutine (latest-wins mailbox), so a
+		// slow endpoint cannot stall the simulation.
+		eng := sys.Engine()
+		horizon := trace.Duration() + 120
+		for t := p.push.every; t < horizon; t += p.push.every {
+			eng.Schedule(t, func() { p.push.sync(hub) })
 		}
 	}
 
@@ -318,6 +397,20 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 		}
 		fmt.Printf(" (of %.1fs total e2e; tracestat for the full breakdown)\n", cp.E2ESum())
 	}
+	if d := res.Decisions; d != nil && d.Collective+d.Scale > 0 {
+		fmt.Printf("decisions: %s (decisionstat for the full ledger)\n", d)
+	}
+	if p.decisionsOut != "" {
+		if led := sys.DecisionLedger(); led != nil {
+			if err := exportFile(p.decisionsOut, led.WriteJSON); err != nil {
+				fatalf("decisions export: %v", err)
+			}
+			fmt.Printf("wrote decision ledger (%d records) to %s\n", led.Len(), p.decisionsOut)
+		}
+	}
+	if p.push != nil {
+		p.push.sync(hub)
+	}
 
 	if srv != nil {
 		// Publish before AddRun so the run's /runs/diff snapshot includes its
@@ -325,6 +418,7 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 		if err := srv.PublishHub(hub); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: daemon publish: %v\n", err)
 		}
+		publishDecisions(srv, sys)
 		srv.AddRun(telemetry.RunSummary{
 			System:     name,
 			Policy:     res.PolicyName,
@@ -337,6 +431,21 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 			TPOT:       telemetry.Latency{Mean: tpots.Mean, P50: tpots.P50, P90: tpots.P90, P99: tpots.P99},
 		})
 	}
+}
+
+// publishDecisions renders the run's decision ledger for the daemon's
+// /decisions endpoint. Like PublishHub it runs on the simulation goroutine.
+func publishDecisions(srv *telemetry.Server, sys *serving.System) {
+	led := sys.DecisionLedger()
+	if led == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := led.WriteJSON(&buf); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: decisions publish: %v\n", err)
+		return
+	}
+	srv.PublishDecisions(buf.Bytes())
 }
 
 // cpEntry is one stage's share of the end-to-end critical path.

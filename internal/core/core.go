@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"heroserve/internal/collective"
 	"heroserve/internal/faults"
@@ -15,6 +16,7 @@ import (
 	"heroserve/internal/scheduler"
 	"heroserve/internal/serving"
 	"heroserve/internal/telemetry"
+	"heroserve/internal/telemetry/decisions"
 	"heroserve/internal/topology"
 )
 
@@ -45,6 +47,11 @@ type OnlinePolicy struct {
 	// its refresh rounds) and consults switch health during refresh. Set by
 	// core.NewSystem; harmless to leave nil on fault-free runs.
 	Injector *faults.Injector
+	// Ledger, when non-nil, receives one CollectiveRecord per policy pick:
+	// the full candidate cost vector Eq. 16 minimized, the chosen and
+	// executed rows, and the execution regret. Set by core.NewSystem from
+	// the serving system's decision ledger.
+	Ledger *decisions.Ledger
 }
 
 // NewOnlinePolicy returns the policy with the given scheduler config.
@@ -118,6 +125,7 @@ func (p *OnlinePolicy) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps in
 	sw := pol.Switch
 	scheme := pol.Scheme
 	reason := "table"
+	exec := idx
 	if scheme.UsesINA() && (sw < 0 || !p.policyAlive(ctx.Comm, &pol)) {
 		// Local data-plane guard: the GPU agent observes its own timeouts
 		// (a blacked-out link on the policy's path, an offline or slot-starved
@@ -126,17 +134,38 @@ func (p *OnlinePolicy) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps in
 		scheme = collective.SchemeRing
 		sw = -1
 		reason = "guard-fallback"
+		exec = ringIndex(t, idx)
 	}
-	p.audit(ctx, t, &pol, scheme, reason, msgBytes, steps)
+	p.audit(ctx, t, idx, exec, scheme, reason, msgBytes, steps)
 	ctx.Comm.AllReduceTagged(scheme, ctx.Group, sw, msgBytes, steps, ctx.Reqs, done)
 }
 
+// ringIndex locates the table row the guard fallback executes (the ring
+// policy); when the table has none the chosen row is kept so the ledger's
+// Actual still points at a real candidate.
+func ringIndex(t *scheduler.Table, chosen int) int {
+	for i := range t.Policies {
+		if t.Policies[i].Scheme == collective.SchemeRing {
+			return i
+		}
+	}
+	return chosen
+}
+
 // audit publishes the decision record of one policy pick: the
-// collective_scheme_total{scheme,reason} counter and a policy-select trace
-// instant carrying the winning policy, the executed scheme, and the full
-// cost-table snapshot (the paper's Fig. 5 state at decision time).
-func (p *OnlinePolicy) audit(ctx *serving.GroupCtx, t *scheduler.Table, pol *scheduler.Policy, scheme collective.Scheme, reason string, msgBytes int64, steps int) {
+// collective_scheme_total{scheme,reason} counter, the ledger's
+// CollectiveRecord with the full counterfactual cost vector plus the
+// per-scheme regret counters (policy_regret_seconds_total{scheme}), and a
+// policy-select trace instant carrying the winning policy, the executed
+// scheme, and the cost-table snapshot (the paper's Fig. 5 state at decision
+// time). chosen/exec index the table's policies; they differ only under
+// guard fallback.
+func (p *OnlinePolicy) audit(ctx *serving.GroupCtx, t *scheduler.Table, chosen, exec int, scheme collective.Scheme, reason string, msgBytes int64, steps int) {
 	tel := ctx.Comm.Telemetry()
+	pol := &t.Policies[chosen]
+	if p.Ledger != nil || tel != nil {
+		p.ledger(ctx, t, chosen, exec, scheme, reason, msgBytes, steps, tel)
+	}
 	if tel == nil {
 		return
 	}
@@ -160,6 +189,86 @@ func (p *OnlinePolicy) audit(ctx *serving.GroupCtx, t *scheduler.Table, pol *sch
 		args["reqs"] = ctx.Reqs
 	}
 	tel.Trace.Instant(telemetry.ControlTID, "sched", "policy-select", args)
+}
+
+// ledger materializes the counterfactual record of one pick. The candidate
+// costs come from Table.LastEval — the exact J(c, D) floats the argmin
+// compared, captured before the synchronized cost update — so the chosen
+// row's counterfactual cost equals the audited cost bit for bit. Regret is
+// expressed in estimated bottleneck busy-seconds (J x T_u); the per-scheme
+// counters accumulate each scheme's cheapest candidate against the overall
+// optimum, i.e. the cost of always forcing that scheme.
+func (p *OnlinePolicy) ledger(ctx *serving.GroupCtx, t *scheduler.Table, chosen, exec int, scheme collective.Scheme, reason string, msgBytes int64, steps int, tel *telemetry.Hub) {
+	eval := t.LastEval()
+	if eval == nil {
+		return
+	}
+	w := t.Window()
+	cands := make([]decisions.CollectiveCandidate, len(t.Policies))
+	best := 0
+	for i := range t.Policies {
+		j := eval[i]
+		cands[i] = decisions.CollectiveCandidate{
+			Label:       t.Policies[i].Label,
+			Scheme:      t.Policies[i].Scheme.String(),
+			CostJ:       decisions.Float(j),
+			CostSeconds: decisions.Float(j * w),
+		}
+		if j < eval[best] {
+			best = i
+		}
+	}
+	actual := float64(cands[exec].CostSeconds)
+	regret := actual - float64(cands[best].CostSeconds)
+	if regret != regret { // Inf - Inf
+		regret = 0
+	}
+	if p.Ledger != nil {
+		p.Ledger.AddCollective(decisions.CollectiveRecord{
+			T:          ctx.Comm.Network().Engine().Now(),
+			Group:      fmt.Sprintf("%s/%d/%d", ctx.ID.Role, ctx.ID.Instance, ctx.ID.Stage),
+			Bytes:      msgBytes * int64(steps),
+			Steps:      steps,
+			Candidates: cands,
+			Chosen:     chosen,
+			Best:       best,
+			Executed:   exec,
+			Scheme:     scheme.String(),
+			Reason:     reason,
+			Actual:     decisions.Float(actual),
+			Regret:     decisions.Float(regret),
+			Stalled:    p.ctl.Stalled(),
+		})
+	}
+	if tel == nil {
+		return
+	}
+	tel.Metrics.Counter("decision_records_total",
+		"Decision-ledger records appended, by kind.",
+		[]string{"kind"}, decisions.KindCollective).Inc()
+	// Per-scheme counterfactual regret: for each scheme present in the
+	// table, its cheapest candidate versus the overall optimum. The winning
+	// scheme contributes exactly zero; +Inf-priced (faulted) schemes are
+	// skipped so the totals stay finite.
+	bestJ := float64(cands[best].CostSeconds)
+	if math.IsInf(bestJ, 0) {
+		return
+	}
+	perScheme := make(map[string]float64, 4)
+	for _, c := range cands {
+		j := float64(c.CostSeconds)
+		if cur, ok := perScheme[c.Scheme]; !ok || j < cur {
+			perScheme[c.Scheme] = j
+		}
+	}
+	for name, j := range perScheme {
+		if math.IsInf(j, 0) {
+			continue
+		}
+		tel.Metrics.Counter("policy_regret_seconds_total",
+			"Counterfactual regret of always forcing a scheme, in estimated bottleneck busy-seconds.",
+			[]string{"scheme"}, name).Add(j - bestJ)
+	}
 }
 
 // policyAlive reports whether an INA policy's data plane is free of fault
@@ -216,6 +325,7 @@ func NewSystem(in planner.Inputs, plan *planner.Plan, opts serving.Options) (*se
 		return nil, nil, nil, err
 	}
 	pol.Injector = sys.FaultInjector()
+	pol.Ledger = sys.DecisionLedger()
 	return sys, plan, pol, nil
 }
 

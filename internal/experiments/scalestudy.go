@@ -8,6 +8,7 @@ import (
 	"heroserve/internal/model"
 	"heroserve/internal/serving"
 	"heroserve/internal/telemetry"
+	"heroserve/internal/telemetry/decisions"
 	"heroserve/internal/topology"
 	"heroserve/internal/workload"
 )
@@ -42,6 +43,12 @@ type ScaleStudyRow struct {
 	MeanTTFT    float64
 	MeanTPOT    float64
 	ScaleEvents int
+	// ShadowRank is this law's rank in the single-run counterfactual shadow
+	// replay of the workload's first autoscaled run (the tuned backlog run
+	// carries the full tuned panel as shadows); 0 for the static row. It lets
+	// the scoreboard's multi-run ranking be sanity-checked against what one
+	// run's decision ledger alone would have predicted.
+	ShadowRank int
 }
 
 // scaleWorkload is one trace regime of the study.
@@ -158,11 +165,11 @@ func scaleStudyDeployment(g *topology.Graph, decodes int) (serving.Deployment, e
 // runScaleCase executes one (workload, policy) run with a fresh telemetry
 // hub and scores it off the registry, erroring if the registry disagrees
 // with the Results struct (the scoreboard must match a /metrics scrape).
-func runScaleCase(w scaleWorkload, policy string, auto *serving.AutoscaleConfig, scale Scale, seed int64) (ScaleStudyRow, error) {
+func runScaleCase(w scaleWorkload, policy string, auto *serving.AutoscaleConfig, scale Scale, seed int64) (ScaleStudyRow, []decisions.ShadowRank, error) {
 	g := topology.Testbed()
 	dep, err := scaleStudyDeployment(g, 3)
 	if err != nil {
-		return ScaleStudyRow{}, err
+		return ScaleStudyRow{}, nil, err
 	}
 	hub := telemetry.New()
 	sla := w.sla
@@ -173,28 +180,28 @@ func runScaleCase(w scaleWorkload, policy string, auto *serving.AutoscaleConfig,
 		SLA:            &sla,
 	})
 	if err != nil {
-		return ScaleStudyRow{}, err
+		return ScaleStudyRow{}, nil, err
 	}
 	res := sys.Run(w.mk(scale, seed))
 	if res.Served == 0 {
-		return ScaleStudyRow{}, fmt.Errorf("ext-scale: %s/%s served nothing", w.name, policy)
+		return ScaleStudyRow{}, nil, fmt.Errorf("ext-scale: %s/%s served nothing", w.name, policy)
 	}
 
 	reg := hub.Metrics
 	met, _ := reg.Value("sla_requests_total", "met")
 	missed, _ := reg.Value("sla_requests_total", "missed")
 	if met+missed != float64(res.Served) {
-		return ScaleStudyRow{}, fmt.Errorf("ext-scale: %s/%s verdicts %g+%g != served %d",
+		return ScaleStudyRow{}, nil, fmt.Errorf("ext-scale: %s/%s verdicts %g+%g != served %d",
 			w.name, policy, met, missed, res.Served)
 	}
 	attainment := met / (met + missed)
 	if want := res.Attainment(sla); attainment != want {
-		return ScaleStudyRow{}, fmt.Errorf("ext-scale: %s/%s registry attainment %g != results %g",
+		return ScaleStudyRow{}, nil, fmt.Errorf("ext-scale: %s/%s registry attainment %g != results %g",
 			w.name, policy, attainment, want)
 	}
 	gpu, ok := reg.Value("decode_gpu_seconds_total")
 	if !ok || gpu != res.ActiveGPUSeconds {
-		return ScaleStudyRow{}, fmt.Errorf("ext-scale: %s/%s registry GPU-seconds %g != results %g",
+		return ScaleStudyRow{}, nil, fmt.Errorf("ext-scale: %s/%s registry GPU-seconds %g != results %g",
 			w.name, policy, gpu, res.ActiveGPUSeconds)
 	}
 	var occ, kv float64
@@ -219,7 +226,7 @@ func runScaleCase(w scaleWorkload, policy string, auto *serving.AutoscaleConfig,
 		MeanTTFT:    mean(res.TTFTs()),
 		MeanTPOT:    mean(res.TPOTs()),
 		ScaleEvents: len(res.ScaleEvents),
-	}, nil
+	}, sys.DecisionLedger().ShadowRanking(), nil
 }
 
 // ScaleStudyData runs the full policy x workload sweep and returns the
@@ -240,19 +247,34 @@ func ScaleStudyData(scale Scale, seed int64) ([]ScaleStudyRow, error) {
 	}
 	var out []ScaleStudyRow
 	for _, w := range scaleWorkloads() {
-		static, err := runScaleCase(w, "static-full", nil, scale, seed)
+		static, _, err := runScaleCase(w, "static-full", nil, scale, seed)
 		if err != nil {
 			return nil, err
 		}
 		var scored []ScaleStudyRow
-		for _, p := range policies {
-			row, err := runScaleCase(w, p.name, &serving.AutoscaleConfig{
+		// The first autoscaled run additionally carries the whole tuned policy
+		// set as ledger shadows, so its decision ledger alone can rank every
+		// law counterfactually — the single-run twin of this multi-run sweep.
+		shadowRank := map[string]int{}
+		for i, p := range policies {
+			auto := &serving.AutoscaleConfig{
 				InitialActive: 1,
 				Interval:      0.5,
 				Policy:        p.mk(),
-			}, scale, seed)
+			}
+			if i == 0 {
+				for _, q := range policies {
+					auto.ShadowPolicies = append(auto.ShadowPolicies, q.mk())
+				}
+			}
+			row, ranks, err := runScaleCase(w, p.name, auto, scale, seed)
 			if err != nil {
 				return nil, err
+			}
+			if i == 0 {
+				for _, r := range ranks {
+					shadowRank[r.Law] = r.Rank
+				}
 			}
 			scored = append(scored, row)
 		}
@@ -267,6 +289,7 @@ func ScaleStudyData(scale Scale, seed int64) ([]ScaleStudyRow, error) {
 		})
 		for i := range scored {
 			scored[i].Rank = i + 1
+			scored[i].ShadowRank = shadowRank[scored[i].Policy]
 		}
 		out = append(out, static)
 		out = append(out, scored...)
@@ -282,18 +305,23 @@ func ExtScale(scale Scale, seed int64) (*Report, error) {
 	}
 	r := &Report{Name: "Extension §VII-b — scaling-policy study (ext-scale)"}
 	t := r.AddTable("ScalePolicy x workload on OPT-13B (1 prefill + 3 decode halves; figures read from the telemetry registry)",
-		"workload", "policy", "rank", "served", "SLA attainment", "GPU-seconds",
+		"workload", "policy", "rank", "shadow", "served", "SLA attainment", "GPU-seconds",
 		"occupancy (req, timeavg)", "KV util (timeavg)", "mean TTFT (s)", "mean TPOT (s)", "scale events")
 	for _, d := range rows {
 		rank := "-"
 		if d.Rank > 0 {
 			rank = fmt.Sprintf("%d", d.Rank)
 		}
-		t.AddRow(d.Workload, d.Policy, rank, fmt.Sprintf("%d", d.Served),
+		shadow := "-"
+		if d.ShadowRank > 0 {
+			shadow = fmt.Sprintf("%d", d.ShadowRank)
+		}
+		t.AddRow(d.Workload, d.Policy, rank, shadow, fmt.Sprintf("%d", d.Served),
 			fmtPct(d.Attainment), fmtF(d.GPUSeconds), fmtF(d.Occupancy),
 			fmtF(d.KVUtil), fmtF(d.MeanTTFT), fmtF(d.MeanTPOT), fmt.Sprintf("%d", d.ScaleEvents))
 	}
 	r.AddNote("rank orders autoscaled policies per workload by SLA attainment, then GPU-seconds; static-full is the all-instances-always-on reference")
+	r.AddNote("shadow is the law's rank in the single-run counterfactual replay of the workload's first autoscaled run's decision ledger (decisionstat's shadow ranking) — one run predicting what the whole sweep measures")
 	r.AddNote("attainment and GPU-seconds are read from sla_requests_total and decode_gpu_seconds_total (cross-checked against Results), occupancy/KV from the decode gauge time-averages — the scoreboard matches a /metrics scrape of the same runs exactly")
 	return r, nil
 }

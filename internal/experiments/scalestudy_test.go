@@ -66,6 +66,16 @@ func TestScaleStudyShape(t *testing.T) {
 				t.Errorf("%s: policy %s missing from scoreboard", w, name)
 			}
 		}
+		// Every autoscaled row carries a shadow rank from the single-run
+		// counterfactual replay; the static reference carries none.
+		if static.ShadowRank != 0 {
+			t.Errorf("%s: static row has shadow rank %d", w, static.ShadowRank)
+		}
+		for _, row := range group[1:] {
+			if row.ShadowRank < 1 || row.ShadowRank > len(group)-1 {
+				t.Errorf("%s/%s shadow rank = %d, want 1..%d", w, row.Policy, row.ShadowRank, len(group)-1)
+			}
+		}
 		// The chatbot burst overwhelms a single instance: the winning policy
 		// can only match the full fleet's attainment by actually scaling out.
 		if w == "chatbot" {
@@ -78,6 +88,13 @@ func TestScaleStudyShape(t *testing.T) {
 			}
 			if best.ScaleEvents == 0 {
 				t.Errorf("chatbot best policy %s matched the SLA without scaling", best.Policy)
+			}
+			// The acceptance cross-check: the single-run counterfactual shadow
+			// replay must agree with the multi-run scoreboard about which law
+			// wins the chatbot burst.
+			if best.ShadowRank != 1 {
+				t.Errorf("chatbot scoreboard winner %s has shadow rank %d; the single-run replay disagrees with the sweep",
+					best.Policy, best.ShadowRank)
 			}
 		}
 	}

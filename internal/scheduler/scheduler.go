@@ -73,6 +73,12 @@ type Table struct {
 	penalty [][]float64 // f[(selected, other)]
 
 	selections []int64 // per-policy selection counts (telemetry)
+
+	// eval holds the exact J(c, D) vector the last Select minimized, filled
+	// before the synchronized cost update mutates b_c. The decision ledger
+	// reads it so the chosen policy's counterfactual cost is bit-identical
+	// to the value the argmin compared.
+	eval []float64
 }
 
 // NewTable builds a table over the given candidate policies. Penalties are
@@ -164,16 +170,32 @@ func (t *Table) Costs() []float64 {
 	return append([]float64(nil), t.cost...)
 }
 
+// LastEval returns the J(c, D) vector of the most recent Select, indexed
+// like Policies — the exact floats Eq. 16 minimized, captured before the
+// synchronized cost update. The slice is reused by the next Select; callers
+// must consume it before then. Nil before the first Select.
+func (t *Table) LastEval() []float64 { return t.eval }
+
+// Window returns the estimation window T_u (seconds). Multiplying a J value
+// by it converts the utilization cost into estimated bottleneck
+// busy-seconds, the unit the decision ledger's regret counters use.
+func (t *Table) Window() float64 { return t.cfg.Window }
+
 // Select implements Eq. 16 and Eq. 17 for one transfer of size bytes: it
 // returns the policy index minimizing J(c, D) = b_c + delta(c, D) and updates
 // every policy's virtual cost — the winner by its delta, the others by the
 // winner's delta scaled by the load penalty. Ties break to the lowest index
 // (deterministic).
 func (t *Table) Select(size int64) int {
+	if t.eval == nil {
+		t.eval = make([]float64, len(t.Policies))
+	}
 	best := 0
 	bestJ := math.Inf(1)
 	for i := range t.Policies {
-		if j := t.cost[i] + t.delta(i, size); j < bestJ {
+		j := t.cost[i] + t.delta(i, size)
+		t.eval[i] = j
+		if j < bestJ {
 			best, bestJ = i, j
 		}
 	}

@@ -3,10 +3,12 @@ package serving
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"heroserve/internal/sim"
 	"heroserve/internal/stats"
 	"heroserve/internal/telemetry"
+	"heroserve/internal/telemetry/decisions"
 )
 
 // AutoscaleConfig enables the §VII future-work mechanism: "rapid scaling in
@@ -48,6 +50,15 @@ type AutoscaleConfig struct {
 	// WeightLoadBW is the per-GPU weight-loading bandwidth on activation,
 	// bytes/second (default 20 GB/s: host-memory/NVMe staging into HBM).
 	WeightLoadBW float64
+	// ShadowPolicies are additional laws evaluated on every control step's
+	// signals without ever driving the fleet; their verdicts land in the
+	// decision ledger's disagreement matrix and feed the single-run shadow
+	// ranking. Nil selects the full built-in panel (ScalePolicyNames with
+	// default parameters); an empty non-nil slice disables shadowing.
+	// Shadow evaluation is isolated: each law sees a private copy of the
+	// signal snapshot (including the SLA), so a misbehaving law cannot
+	// perturb the autoscaler. Requires telemetry (the ledger) to be armed.
+	ShadowPolicies []ScalePolicy
 }
 
 func (c *AutoscaleConfig) setDefaults() {
@@ -122,6 +133,14 @@ type autoscaler struct {
 	// telemetry (nil handles when off)
 	telActive    *telemetry.Gauge
 	telDecisions map[ScaleDecision]*telemetry.Counter
+
+	// decision-ledger state (inactive when the system has no ledger)
+	shadows     []ScalePolicy          // sorted by name; never drive the fleet
+	shadowSLA   SLA                    // private SLA copy handed to shadows
+	pending     *decisions.ScaleRecord // last record, awaiting its outcome
+	outcomeSeen int                    // metrics consumed for outcome windows
+	telRecords  *telemetry.Counter
+	telShadow   map[string]*telemetry.Counter // per-law disagreement counters
 }
 
 // startAutoscaler wires the config into the system: deactivates reserves,
@@ -168,6 +187,43 @@ func (s *System) startAutoscaler(cfg AutoscaleConfig) {
 				[]string{"decision"}, d.String())
 		}
 	}
+	if s.ledger != nil {
+		a.shadows = cfg.ShadowPolicies
+		if a.shadows == nil {
+			for _, name := range ScalePolicyNames {
+				p, err := NewScalePolicy(name)
+				if err == nil {
+					a.shadows = append(a.shadows, p)
+				}
+			}
+		}
+		sort.SliceStable(a.shadows, func(i, j int) bool {
+			return a.shadows[i].Name() < a.shadows[j].Name()
+		})
+		gpus := 0
+		if len(s.decode) > 0 {
+			gpus = len(s.decode[0].spec.GPUs())
+		}
+		s.ledger.SetScaleMeta(decisions.ScaleMeta{
+			Fleet:           len(s.decode),
+			InitialActive:   initial,
+			MinActive:       a.minActive,
+			Interval:        cfg.Interval,
+			GPUsPerInstance: gpus,
+			SLA:             s.opts.SLA != nil,
+		})
+		if s.tel != nil {
+			a.telRecords = s.tel.Metrics.Counter("decision_records_total",
+				"Decision-ledger records appended, by kind.",
+				[]string{"kind"}, decisions.KindScale)
+			a.telShadow = make(map[string]*telemetry.Counter, len(a.shadows))
+			for _, sp := range a.shadows {
+				a.telShadow[sp.Name()] = s.tel.Metrics.Counter("autoscale_shadow_disagreements_total",
+					"Control steps where a shadow law's verdict differed from the primary's.",
+					[]string{"law"}, sp.Name())
+			}
+		}
+	}
 	a.lastT = now
 	a.lastStep = now
 	a.loop()
@@ -197,13 +253,16 @@ func (a *autoscaler) loop() {
 // applies it.
 func (a *autoscaler) step() {
 	now := a.sys.eng.Now()
+	a.stampOutcome(now)
 	sig := a.collect(now)
 	dec := a.cfg.Policy.Decide(sig)
 	a.telDecisions[dec].Inc()
+	applied, instance := "none", -1
 	switch dec {
 	case ScaleOut:
 		if di := a.firstReserve(); di != nil {
 			a.activate(di)
+			applied, instance = "activate", di.id
 		}
 	case ScaleIn:
 		// The floor counts truly-active instances only: an activating
@@ -212,11 +271,91 @@ func (a *autoscaler) step() {
 		if a.countActive() > a.minActive {
 			if di := a.longestIdle(now); di != nil {
 				a.deactivate(di)
+				applied, instance = "deactivate", di.id
 			}
 		}
 	}
+	a.record(now, &sig, dec, applied, instance)
 	a.refreshIdle(now)
 	a.lastStep = now
+}
+
+// record appends this step's ScaleRecord: the primary's verdict and applied
+// action, the signal snapshot, and every shadow law's verdict on a private
+// copy of the same signals. Shadows never touch the fleet; they only write
+// the disagreement matrix.
+func (a *autoscaler) record(now sim.Time, sig *ScaleSignals, dec ScaleDecision, applied string, instance int) {
+	led := a.sys.ledger
+	if led == nil {
+		return
+	}
+	rec := decisions.ScaleRecord{
+		T:        now,
+		Primary:  a.cfg.Policy.Name(),
+		Decision: dec.String(),
+		Applied:  applied,
+		Instance: instance,
+		Signals: decisions.ScaleSignalsRec{
+			Backlog:       sig.Backlog,
+			Active:        sig.Active,
+			Activating:    sig.Activating,
+			Reserves:      sig.Reserves,
+			Occupancy:     sig.Occupancy,
+			KVUtilization: sig.KVUtilization,
+			LongestIdle:   sig.LongestIdle,
+			TTFT:          sig.TTFT,
+			TPOT:          sig.TPOT,
+			LatencyPrimed: sig.LatencyPrimed,
+		},
+	}
+	for _, sp := range a.shadows {
+		// Isolation: shadows get a value copy of the snapshot with a private
+		// SLA, so even a law that writes through sig.SLA cannot perturb the
+		// run's configuration or the primary's inputs.
+		shSig := *sig
+		if sig.SLA != nil {
+			a.shadowSLA = *sig.SLA
+			shSig.SLA = &a.shadowSLA
+		}
+		d := sp.Decide(shSig)
+		rec.Shadows = append(rec.Shadows, decisions.ShadowDecision{
+			Law: sp.Name(), Decision: d.String(),
+		})
+		if d != dec {
+			rec.Disagree++
+			a.telShadow[sp.Name()].Inc()
+		}
+	}
+	a.pending = led.AddScale(rec)
+	a.telRecords.Inc()
+}
+
+// stampOutcome closes the previous record's realized window: the requests
+// completed since that decision, their SLA verdicts (the exact
+// Results.Attainment criterion), and their mean TTFT/TPOT.
+func (a *autoscaler) stampOutcome(now sim.Time) {
+	ms := a.sys.metrics[a.outcomeSeen:]
+	a.outcomeSeen = len(a.sys.metrics)
+	if a.pending == nil {
+		return
+	}
+	o := decisions.Outcome{Horizon: now - a.pending.T}
+	var ttft, tpot float64
+	sla := a.sys.opts.SLA
+	for i := range ms {
+		o.Completed++
+		ttft += ms[i].TTFT
+		tpot += ms[i].TPOT
+		if sla == nil || (ms[i].TTFT <= sla.TTFT && ms[i].TPOT <= sla.TPOT) {
+			o.Met++
+		}
+	}
+	if o.Completed > 0 {
+		o.TTFT = ttft / float64(o.Completed)
+		o.TPOT = tpot / float64(o.Completed)
+	}
+	a.pending.Outcome = &o
+	a.pending = nil
 }
 
 // collect assembles the policy's signal snapshot at time now.
@@ -384,9 +523,11 @@ func (a *autoscaler) countCommitted() int {
 	return n
 }
 
-// finish closes the accounting at simulation end.
+// finish closes the accounting at simulation end: the GPU-second ledger and
+// the last decision's realized-outcome window.
 func (a *autoscaler) finish() {
 	a.charge()
+	a.stampOutcome(a.sys.eng.Now())
 }
 
 func (a *autoscaler) String() string {

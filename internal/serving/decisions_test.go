@@ -1,0 +1,207 @@
+package serving
+
+import (
+	"bytes"
+	"testing"
+
+	"heroserve/internal/telemetry"
+	"heroserve/internal/telemetry/decisions"
+	"heroserve/internal/topology"
+)
+
+// runScaleLedger executes one telemetered autoscaled burst run and returns
+// the results and the decision ledger.
+func runScaleLedger(t *testing.T, cfg *AutoscaleConfig) (*Results, *decisions.Ledger, *telemetry.Hub) {
+	t.Helper()
+	g := topology.Testbed()
+	dep := scaleDeployment(t, g)
+	hub := telemetry.New()
+	sla := SLA{TTFT: 2.5, TPOT: 0.15}
+	sys, err := New(g, dep, Options{
+		MaxDecodeBatch: 8,
+		Autoscale:      cfg,
+		Telemetry:      hub,
+		SLA:            &sla,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(burstTrace(60))
+	led := sys.DecisionLedger()
+	if led == nil {
+		t.Fatal("telemetered run has no decision ledger")
+	}
+	return res, led, hub
+}
+
+func scaleCfg() *AutoscaleConfig {
+	return &AutoscaleConfig{
+		InitialActive:   1,
+		ScaleOutBacklog: 1,
+		ScaleInIdle:     10,
+		Interval:        0.5,
+	}
+}
+
+func TestScaleLedgerRecordsAndOutcomes(t *testing.T) {
+	res, led, hub := runScaleLedger(t, scaleCfg())
+	if res.Served != 63 {
+		t.Fatalf("served %d/63", res.Served)
+	}
+	if len(led.Scale) == 0 {
+		t.Fatal("no scale records")
+	}
+	if led.Meta.Fleet != 3 || led.Meta.InitialActive != 1 || led.Meta.Interval != 0.5 {
+		t.Errorf("meta = %+v", led.Meta)
+	}
+	if led.Meta.End <= 0 {
+		t.Error("run end not stamped")
+	}
+	panel := len(ScalePolicyNames)
+	var applied, completed int
+	for i := range led.Scale {
+		r := &led.Scale[i]
+		if len(r.Shadows) != panel {
+			t.Fatalf("record %d carries %d shadows, want the default panel of %d", i, len(r.Shadows), panel)
+		}
+		for j := 1; j < len(r.Shadows); j++ {
+			if r.Shadows[j-1].Law >= r.Shadows[j].Law {
+				t.Fatalf("record %d shadows not sorted by law: %v", i, r.Shadows)
+			}
+		}
+		if r.Applied != "none" {
+			applied++
+			if r.Instance < 0 {
+				t.Errorf("record %d applied %s without an instance", i, r.Applied)
+			}
+		} else if r.Instance != -1 {
+			t.Errorf("record %d applied none with instance %d", i, r.Instance)
+		}
+		// Every record's outcome window is stamped (the last at run end).
+		if r.Outcome == nil {
+			t.Fatalf("record %d has no outcome", i)
+		}
+		if r.Outcome.Horizon < 0 {
+			t.Errorf("record %d horizon %g < 0", i, r.Outcome.Horizon)
+		}
+		if r.Outcome.Met > r.Outcome.Completed {
+			t.Errorf("record %d met %d > completed %d", i, r.Outcome.Met, r.Outcome.Completed)
+		}
+		completed += r.Outcome.Completed
+	}
+	if applied == 0 {
+		t.Error("burst run applied no scale action")
+	}
+	// Outcome windows partition the run: every completion lands in exactly
+	// one window (requests finishing after the final control step are
+	// stamped into it at run end).
+	if completed != res.Served {
+		t.Errorf("outcome windows hold %d completions, served %d", completed, res.Served)
+	}
+	if v, ok := hub.Metrics.Value("decision_records_total", decisions.KindScale); !ok || v != float64(len(led.Scale)) {
+		t.Errorf("decision_records_total{scale} = %v,%v, want %d", v, ok, len(led.Scale))
+	}
+	// Shadow ranking is derivable from the single run.
+	ranks := led.ShadowRanking()
+	if len(ranks) != panel {
+		t.Fatalf("shadow ranking has %d laws, want %d", len(ranks), panel)
+	}
+	for i, r := range ranks {
+		if r.Rank != i+1 {
+			t.Errorf("rank %d row says %d", i+1, r.Rank)
+		}
+		if r.EstGPUSeconds <= 0 {
+			t.Errorf("%s replayed %g GPU-seconds", r.Law, r.EstGPUSeconds)
+		}
+	}
+}
+
+func TestScaleLedgerDeterminism(t *testing.T) {
+	render := func() []byte {
+		_, led, _ := runScaleLedger(t, scaleCfg())
+		var buf bytes.Buffer
+		if err := led.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Error("same-seed runs produced different scale-ledger bytes")
+	}
+}
+
+// hostileShadow is a scripted law that tries everything a shadow could do to
+// perturb the run: it mutates every writable field of the signal snapshot it
+// is handed — including writing through the SLA pointer — and returns the
+// opposite of a sane verdict. The autoscaler must isolate it completely.
+type hostileShadow struct{ calls int }
+
+func (h *hostileShadow) Name() string { return "hostile" }
+
+func (h *hostileShadow) Decide(sig ScaleSignals) ScaleDecision {
+	h.calls++
+	if sig.SLA != nil {
+		sig.SLA.TTFT = -1 // a write through the pointer would wreck attainment
+		sig.SLA.TPOT = -1
+	}
+	sig.Backlog = 1 << 20
+	sig.Occupancy = 99
+	if h.calls%2 == 0 {
+		return ScaleIn
+	}
+	return ScaleOut
+}
+
+// TestShadowPurity is the white-box isolation proof: an actively hostile
+// shadow law must not change a single byte of the run's behaviour — same
+// served count, same scale events, same latencies, same SLA verdicts.
+func TestShadowPurity(t *testing.T) {
+	run := func(shadows []ScalePolicy) (*Results, *telemetry.Hub) {
+		cfg := scaleCfg()
+		cfg.ShadowPolicies = shadows
+		res, _, hub := runScaleLedger(t, cfg)
+		return res, hub
+	}
+	// Baseline: shadows disabled (non-nil empty panel).
+	base, baseHub := run([]ScalePolicy{})
+	hostile := &hostileShadow{}
+	got, gotHub := run([]ScalePolicy{hostile})
+
+	if hostile.calls == 0 {
+		t.Fatal("hostile shadow was never consulted")
+	}
+	if got.Served != base.Served {
+		t.Errorf("served %d with hostile shadow, %d without", got.Served, base.Served)
+	}
+	if len(got.ScaleEvents) != len(base.ScaleEvents) {
+		t.Fatalf("scale events %d with hostile shadow, %d without", len(got.ScaleEvents), len(base.ScaleEvents))
+	}
+	for i := range got.ScaleEvents {
+		if got.ScaleEvents[i] != base.ScaleEvents[i] {
+			t.Errorf("scale event %d: %+v vs %+v", i, got.ScaleEvents[i], base.ScaleEvents[i])
+		}
+	}
+	sla := SLA{TTFT: 2.5, TPOT: 0.15}
+	if a, b := got.Attainment(sla), base.Attainment(sla); a != b {
+		t.Errorf("attainment %g with hostile shadow, %g without", a, b)
+	}
+	gt, bt := got.TTFTs(), base.TTFTs()
+	if len(gt) != len(bt) {
+		t.Fatalf("TTFT counts differ: %d vs %d", len(gt), len(bt))
+	}
+	for i := range gt {
+		if gt[i] != bt[i] {
+			t.Fatalf("TTFT %d differs: %g vs %g", i, gt[i], bt[i])
+		}
+	}
+	// Latency histograms in the registry must match exactly too; the shadow
+	// counters are the only metric families allowed to differ.
+	for _, m := range []string{"ttft_seconds", "tpot_seconds"} {
+		a, okA := baseHub.Metrics.HistogramCount(m)
+		b, okB := gotHub.Metrics.HistogramCount(m)
+		if !okA || !okB || a != b {
+			t.Errorf("%s count %v,%v vs %v,%v", m, a, okA, b, okB)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"heroserve/internal/stats"
 	"heroserve/internal/telemetry"
 	"heroserve/internal/telemetry/critpath"
+	"heroserve/internal/telemetry/decisions"
 	"heroserve/internal/topology"
 )
 
@@ -305,6 +306,11 @@ type Results struct {
 	// CritPath is the run's critical-path report (per-stage TTFT/E2E
 	// decomposition and slowest requests), populated when telemetry is armed.
 	CritPath *critpath.Report
+
+	// Decisions summarizes the run's decision ledger (per-scheme
+	// counterfactual regret, shadow-law disagreement), populated when
+	// telemetry is armed.
+	Decisions *decisions.Summary
 }
 
 // TTFTs returns the TTFT sample.

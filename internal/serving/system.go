@@ -14,6 +14,7 @@ import (
 	"heroserve/internal/stats"
 	"heroserve/internal/telemetry"
 	"heroserve/internal/telemetry/critpath"
+	"heroserve/internal/telemetry/decisions"
 	"heroserve/internal/topology"
 	"heroserve/internal/workload"
 )
@@ -44,6 +45,7 @@ type System struct {
 	// Telemetry (nil when off).
 	tel           *telemetry.Hub
 	crit          *critpath.Collector
+	ledger        *decisions.Ledger
 	telAdmitted   *telemetry.Counter
 	telCompleted  *telemetry.Counter
 	telSLAMet     *telemetry.Counter
@@ -170,6 +172,10 @@ func New(g *topology.Graph, dep Deployment, opts Options) (*System, error) {
 // fault instants, and the serving-level request/SLA/batching metrics.
 func (s *System) attachTelemetry(h *telemetry.Hub) {
 	s.tel = h
+	// The decision ledger rides along with telemetry: every control-plane
+	// choice (collective-scheme picks via the CommPolicy, scale decisions via
+	// the autoscaler) appends its counterfactual record here.
+	s.ledger = decisions.NewLedger()
 	// Bind the critical-path collector before Attach so its tap observes the
 	// run's process_name metadata (it needs the pid→process mapping).
 	s.crit = critpath.Bind(h)
@@ -245,6 +251,11 @@ func (s *System) Comm() *collective.Comm { return s.comm }
 // FaultInjector returns the armed fault injector (nil on fault-free runs).
 // Control-plane components register their stall hooks here.
 func (s *System) FaultInjector() *faults.Injector { return s.inj }
+
+// DecisionLedger returns the run's decision ledger (nil when telemetry is
+// off). Communication policies append CollectiveRecords here; the autoscaler
+// appends ScaleRecords.
+func (s *System) DecisionLedger() *decisions.Ledger { return s.ledger }
 
 // computeModelFor fits (with caching) the cost model of the instance's
 // slowest GPU type: synchronous data parallelism paces on the straggler.
@@ -370,6 +381,10 @@ func (s *System) Run(trace *workload.Trace) *Results {
 	if s.crit != nil {
 		res.CritPath = s.crit.Analyzer.Report(critpathTopN)
 		s.crit.Unbind(s.tel)
+	}
+	if s.ledger != nil {
+		s.ledger.SetEnd(s.eng.Now())
+		res.Decisions = s.ledger.Summarize()
 	}
 	return res
 }

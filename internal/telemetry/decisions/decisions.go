@@ -1,0 +1,677 @@
+// Package decisions is the counterfactual decision ledger: a deterministic,
+// sim-time-stamped record of every control-plane choice the serving system
+// makes, together with the cost of the roads not taken.
+//
+// Two decision kinds are recorded:
+//
+//   - Collective-scheme picks (the online scheduler's Eq. 16 selection): for
+//     every all-reduce the ledger stores the full candidate cost vector — the
+//     J(c, D) every policy in the group's cost table evaluated to at decision
+//     time — the chosen policy, the executed policy (a data-plane guard may
+//     force ring), and the regret of the execution versus the cheapest
+//     candidate. The chosen policy's counterfactual cost in the ledger is BY
+//     CONSTRUCTION the exact float the table minimized, so "counterfactual
+//     equals audited cost" holds bit for bit.
+//
+//   - Scale decisions (the autoscaler's per-interval ScalePolicy verdicts):
+//     the full input signal snapshot, the primary law's verdict and the
+//     action actually applied, every shadow law's verdict on the same
+//     signals, and — stamped at the next control step — the realized outcome
+//     window (completions, SLA verdicts, mean TTFT/TPOT) so expected-versus-
+//     realized drift is queryable per decision.
+//
+// Everything is stamped with simulated time and derived from deterministic
+// state, so two same-seed runs produce byte-identical ledgers (asserted by
+// the golden gate, including under the reference simulator fast-path
+// implementations).
+package decisions
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record kinds.
+const (
+	KindCollective = "collective"
+	KindScale      = "scale"
+)
+
+// Float is a float64 that survives JSON round-trips even when non-finite:
+// policy cost tables legitimately contain +Inf (fault-priced-out policies),
+// which encoding/json rejects as a bare number.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf":
+			*f = Float(math.Inf(1))
+		case "-Inf":
+			*f = Float(math.Inf(-1))
+		case "NaN":
+			*f = Float(math.NaN())
+		default:
+			return fmt.Errorf("decisions: bad float %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// CollectiveCandidate is one row of a policy-select counterfactual cost
+// vector: a candidate policy from the group's cost table and its cost at
+// decision time.
+type CollectiveCandidate struct {
+	Label  string `json:"label"`
+	Scheme string `json:"scheme"`
+	// CostJ is J(c, D) = b_c + delta(c, D), the utilization cost the table
+	// minimized (Eq. 16), evaluated for EVERY candidate, not just the winner.
+	CostJ Float `json:"cost_j"`
+	// CostSeconds converts CostJ into estimated bottleneck busy-seconds
+	// within the scheduler's estimation window: J * T_u. This is the unit
+	// the regret counters accumulate.
+	CostSeconds Float `json:"cost_seconds"`
+}
+
+// CollectiveRecord audits one policy-select decision.
+type CollectiveRecord struct {
+	T     float64 `json:"t"`
+	Group string  `json:"group"`
+	Bytes int64   `json:"bytes"` // msgBytes * steps, the D of Eq. 16
+	Steps int     `json:"steps"`
+	// Candidates is the full cost vector, indexed like the group's table.
+	Candidates []CollectiveCandidate `json:"candidates"`
+	// Chosen is the table's pick (the argmin of CostJ, ties to lowest index).
+	Chosen int `json:"chosen"`
+	// Best is the cheapest candidate overall; equals Chosen by Eq. 16 and is
+	// kept explicit so the invariant is checkable from the ledger alone.
+	Best int `json:"best"`
+	// Executed is the candidate actually run: the local data-plane guard may
+	// move an INA pick to the ring row without waiting for a table refresh.
+	Executed int    `json:"executed"`
+	Scheme   string `json:"scheme"` // executed scheme
+	Reason   string `json:"reason"` // "table" | "guard-fallback"
+	// Actual is Candidates[Executed].CostSeconds — the audited cost of the
+	// decision, bit-identical to the counterfactual vector entry.
+	Actual Float `json:"actual_seconds"`
+	// Regret is Actual - Candidates[Best].CostSeconds: zero except under
+	// guard fallback (the table pick is the argmin by construction).
+	Regret  Float `json:"regret_seconds"`
+	Stalled bool  `json:"stalled,omitempty"` // control plane inside a stall window
+}
+
+// ScaleSignalsRec is the autoscaler input snapshot a scale decision saw.
+type ScaleSignalsRec struct {
+	Backlog       int     `json:"backlog"`
+	Active        int     `json:"active"`
+	Activating    int     `json:"activating"`
+	Reserves      int     `json:"reserves"`
+	Occupancy     float64 `json:"occupancy"`
+	KVUtilization float64 `json:"kv_utilization"`
+	LongestIdle   float64 `json:"longest_idle"`
+	TTFT          float64 `json:"ttft"`
+	TPOT          float64 `json:"tpot"`
+	LatencyPrimed bool    `json:"latency_primed"`
+}
+
+// ShadowDecision is one shadow law's verdict on the same signals.
+type ShadowDecision struct {
+	Law      string `json:"law"`
+	Decision string `json:"decision"`
+}
+
+// Outcome is the realized window between a scale decision and the next one:
+// what actually happened after the fleet (did or did not) change.
+type Outcome struct {
+	Completed int     `json:"completed"`
+	Met       int     `json:"met"`  // SLA-met among Completed (== Completed when the run has no SLA)
+	TTFT      float64 `json:"ttft"` // mean over the window's completions (0 when none)
+	TPOT      float64 `json:"tpot"`
+	Horizon   float64 `json:"horizon"` // window length, seconds
+}
+
+// ScaleRecord audits one autoscaler control step.
+type ScaleRecord struct {
+	T        float64         `json:"t"`
+	Primary  string          `json:"primary"`  // law driving the fleet
+	Decision string          `json:"decision"` // primary's verdict
+	Applied  string          `json:"applied"`  // "activate" | "deactivate" | "none"
+	Instance int             `json:"instance"` // affected instance id, -1 when none
+	Signals  ScaleSignalsRec `json:"signals"`
+	// Shadows holds every registered law's verdict on the same signals,
+	// sorted by law name. Shadow laws are isolated: they observe signal
+	// copies and their verdicts are never applied.
+	Shadows  []ShadowDecision `json:"shadows"`
+	Disagree int              `json:"disagree"` // shadow verdicts differing from the primary's
+	// Outcome is stamped at the next control step (or at run end): the
+	// realized window this decision shaped.
+	Outcome *Outcome `json:"outcome,omitempty"`
+}
+
+// ScaleMeta captures the autoscaler configuration the shadow replay needs to
+// reconstruct counterfactual fleet trajectories from the decision stream.
+type ScaleMeta struct {
+	Fleet           int     `json:"fleet"`
+	InitialActive   int     `json:"initial_active"`
+	MinActive       int     `json:"min_active"`
+	Interval        float64 `json:"interval"`
+	GPUsPerInstance int     `json:"gpus_per_instance"`
+	SLA             bool    `json:"sla"`
+	End             float64 `json:"end"` // sim end, stamped when the run finishes
+}
+
+// Ledger is one run's decision ledger. It is owned by the simulation
+// goroutine (like the metrics registry) and is not goroutine-safe.
+type Ledger struct {
+	Meta       ScaleMeta          `json:"meta"`
+	Collective []CollectiveRecord `json:"collective"`
+	Scale      []ScaleRecord      `json:"scale"`
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{}
+}
+
+// AddCollective appends one policy-select record. Nil-safe.
+func (l *Ledger) AddCollective(r CollectiveRecord) {
+	if l == nil {
+		return
+	}
+	l.Collective = append(l.Collective, r)
+}
+
+// AddScale appends one scale record and returns the stored copy so the
+// caller can stamp its Outcome at the next control step. Nil-safe.
+func (l *Ledger) AddScale(r ScaleRecord) *ScaleRecord {
+	if l == nil {
+		return nil
+	}
+	l.Scale = append(l.Scale, r)
+	return &l.Scale[len(l.Scale)-1]
+}
+
+// SetScaleMeta records the autoscaler configuration. Nil-safe.
+func (l *Ledger) SetScaleMeta(m ScaleMeta) {
+	if l == nil {
+		return
+	}
+	end := l.Meta.End
+	l.Meta = m
+	if l.Meta.End == 0 {
+		l.Meta.End = end
+	}
+}
+
+// SetEnd stamps the run's final sim-time. Nil-safe.
+func (l *Ledger) SetEnd(t float64) {
+	if l == nil {
+		return
+	}
+	l.Meta.End = t
+}
+
+// Len returns the total record count (0 on nil).
+func (l *Ledger) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.Collective) + len(l.Scale)
+}
+
+// WriteJSON writes the ledger as a single JSON document. Output is
+// deterministic: struct field order, strconv float formatting, records in
+// append (event-loop) order.
+func (l *Ledger) WriteJSON(w io.Writer) error {
+	doc := l
+	if doc == nil {
+		doc = NewLedger()
+	}
+	if doc.Collective == nil {
+		doc.Collective = []CollectiveRecord{}
+	}
+	if doc.Scale == nil {
+		doc.Scale = []ScaleRecord{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a ledger written by WriteJSON.
+func ReadJSON(r io.Reader) (*Ledger, error) {
+	var l Ledger
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&l); err != nil {
+		return nil, fmt.Errorf("decisions: %w", err)
+	}
+	return &l, nil
+}
+
+// Filter returns a new ledger holding the records matching the given
+// criteria. Empty kind/policy match everything; to is inclusive and
+// ignored when <= 0. For collective records the policy criterion matches
+// the executed scheme or the chosen candidate's label; for scale records it
+// matches the primary law.
+func (l *Ledger) Filter(kind, policy string, from, to float64) *Ledger {
+	out := NewLedger()
+	if l == nil {
+		return out
+	}
+	out.Meta = l.Meta
+	inRange := func(t float64) bool {
+		if t < from {
+			return false
+		}
+		return to <= 0 || t <= to
+	}
+	if kind == "" || kind == KindCollective {
+		for _, r := range l.Collective {
+			if !inRange(r.T) {
+				continue
+			}
+			if policy != "" && policy != r.Scheme &&
+				(r.Chosen >= len(r.Candidates) || policy != r.Candidates[r.Chosen].Label) {
+				continue
+			}
+			out.Collective = append(out.Collective, r)
+		}
+	}
+	if kind == "" || kind == KindScale {
+		for _, r := range l.Scale {
+			if !inRange(r.T) {
+				continue
+			}
+			if policy != "" && policy != r.Primary {
+				continue
+			}
+			out.Scale = append(out.Scale, r)
+		}
+	}
+	return out
+}
+
+// SchemeStat aggregates one collective scheme's ledger across a run.
+type SchemeStat struct {
+	Scheme string `json:"scheme"`
+	// Chosen counts table picks of this scheme; Executed counts actual
+	// executions (guard fallbacks move picks to ring).
+	Chosen   int64 `json:"chosen"`
+	Executed int64 `json:"executed"`
+	// RegretSeconds is the counterfactual cost of always forcing this
+	// scheme: sum over decisions of (cheapest candidate of this scheme -
+	// cheapest candidate overall), in bottleneck busy-seconds. The winning
+	// scheme of a healthy run accumulates ~0.
+	RegretSeconds float64 `json:"regret_seconds"`
+	// Unpriced counts decisions where every candidate of this scheme was
+	// +Inf-priced (faulted switch); those contribute nothing to
+	// RegretSeconds.
+	Unpriced int64 `json:"unpriced"`
+	// Absent counts decisions whose table had no candidate of this scheme.
+	Absent int64 `json:"absent"`
+}
+
+// LawStat aggregates one scale law's shadow verdicts across a run.
+type LawStat struct {
+	Law      string `json:"law"`
+	ScaleOut int64  `json:"scale_out"`
+	ScaleIn  int64  `json:"scale_in"`
+	Hold     int64  `json:"hold"`
+	Disagree int64  `json:"disagree"` // steps where this law's verdict differed from the primary's
+}
+
+// Drift compares the signal-window latencies scale decisions acted on with
+// the realized outcome windows that followed them.
+type Drift struct {
+	Windows          int     `json:"windows"` // records with a stamped outcome and completions
+	MeanSignalTTFT   float64 `json:"mean_signal_ttft"`
+	MeanRealizedTTFT float64 `json:"mean_realized_ttft"`
+	MeanSignalTPOT   float64 `json:"mean_signal_tpot"`
+	MeanRealizedTPOT float64 `json:"mean_realized_tpot"`
+	// Attainment is realized SLA attainment over all outcome windows.
+	Attainment float64 `json:"attainment"`
+	Completed  int     `json:"completed"`
+}
+
+// Summary condenses a ledger for reports, the serve one-liner, and the
+// golden TSVs.
+type Summary struct {
+	Collective         int          `json:"collective"`
+	Scale              int          `json:"scale"`
+	Fallbacks          int64        `json:"fallbacks"`
+	Stalled            int64        `json:"stalled"`
+	TotalRegretSeconds float64      `json:"total_regret_seconds"` // executed vs best, summed
+	Schemes            []SchemeStat `json:"schemes"`              // sorted by RegretSeconds asc, then name
+	Primary            string       `json:"primary,omitempty"`    // scale primary law (if any)
+	Laws               []LawStat    `json:"laws"`                 // sorted by law name
+	Disagreements      int64        `json:"disagreements"`        // total shadow disagreements
+	Drift              *Drift       `json:"drift,omitempty"`
+}
+
+// Summarize builds the ledger's summary.
+func (l *Ledger) Summarize() *Summary {
+	s := &Summary{Schemes: []SchemeStat{}, Laws: []LawStat{}}
+	if l == nil {
+		return s
+	}
+	s.Collective = len(l.Collective)
+	s.Scale = len(l.Scale)
+
+	schemes := map[string]*SchemeStat{}
+	scheme := func(name string) *SchemeStat {
+		st, ok := schemes[name]
+		if !ok {
+			st = &SchemeStat{Scheme: name}
+			schemes[name] = st
+		}
+		return st
+	}
+	for i := range l.Collective {
+		r := &l.Collective[i]
+		if r.Reason != "table" {
+			s.Fallbacks++
+		}
+		if r.Stalled {
+			s.Stalled++
+		}
+		if reg := float64(r.Regret); !math.IsInf(reg, 0) && !math.IsNaN(reg) {
+			s.TotalRegretSeconds += reg
+		}
+		if r.Chosen < len(r.Candidates) {
+			scheme(r.Candidates[r.Chosen].Scheme).Chosen++
+		}
+		scheme(r.Scheme).Executed++
+		// Per-scheme counterfactual: the cheapest candidate of each scheme
+		// versus the cheapest candidate overall.
+		best := math.Inf(1)
+		perScheme := map[string]float64{}
+		for _, c := range r.Candidates {
+			j := float64(c.CostSeconds)
+			if j < best {
+				best = j
+			}
+			if cur, ok := perScheme[c.Scheme]; !ok || j < cur {
+				perScheme[c.Scheme] = j
+			}
+		}
+		if math.IsInf(best, 1) {
+			continue
+		}
+		for name, j := range perScheme {
+			st := scheme(name)
+			if math.IsInf(j, 1) {
+				st.Unpriced++
+				continue
+			}
+			st.RegretSeconds += j - best
+		}
+	}
+	names := make([]string, 0, len(schemes))
+	for n := range schemes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Every decision where a scheme had no candidate counts as Absent, so
+	// per-scheme regret totals are comparable across schemes.
+	for _, n := range names {
+		st := schemes[n]
+		for i := range l.Collective {
+			r := &l.Collective[i]
+			present := false
+			for _, c := range r.Candidates {
+				if c.Scheme == n {
+					present = true
+					break
+				}
+			}
+			if !present {
+				st.Absent++
+			}
+		}
+	}
+	for _, n := range names {
+		s.Schemes = append(s.Schemes, *schemes[n])
+	}
+	sort.SliceStable(s.Schemes, func(i, j int) bool {
+		if s.Schemes[i].RegretSeconds != s.Schemes[j].RegretSeconds {
+			return s.Schemes[i].RegretSeconds < s.Schemes[j].RegretSeconds
+		}
+		return s.Schemes[i].Scheme < s.Schemes[j].Scheme
+	})
+
+	laws := map[string]*LawStat{}
+	law := func(name string) *LawStat {
+		st, ok := laws[name]
+		if !ok {
+			st = &LawStat{Law: name}
+			laws[name] = st
+		}
+		return st
+	}
+	var drift Drift
+	var sigTTFT, sigTPOT, realTTFT, realTPOT float64
+	var met int
+	for i := range l.Scale {
+		r := &l.Scale[i]
+		s.Primary = r.Primary
+		for _, sh := range r.Shadows {
+			st := law(sh.Law)
+			switch sh.Decision {
+			case "scale_out":
+				st.ScaleOut++
+			case "scale_in":
+				st.ScaleIn++
+			default:
+				st.Hold++
+			}
+			if sh.Decision != r.Decision {
+				st.Disagree++
+				s.Disagreements++
+			}
+		}
+		if o := r.Outcome; o != nil && o.Completed > 0 {
+			drift.Windows++
+			drift.Completed += o.Completed
+			met += o.Met
+			sigTTFT += r.Signals.TTFT
+			sigTPOT += r.Signals.TPOT
+			realTTFT += o.TTFT
+			realTPOT += o.TPOT
+		}
+	}
+	lawNames := make([]string, 0, len(laws))
+	for n := range laws {
+		lawNames = append(lawNames, n)
+	}
+	sort.Strings(lawNames)
+	for _, n := range lawNames {
+		s.Laws = append(s.Laws, *laws[n])
+	}
+	if drift.Windows > 0 {
+		n := float64(drift.Windows)
+		drift.MeanSignalTTFT = sigTTFT / n
+		drift.MeanSignalTPOT = sigTPOT / n
+		drift.MeanRealizedTTFT = realTTFT / n
+		drift.MeanRealizedTPOT = realTPOT / n
+		drift.Attainment = float64(met) / float64(drift.Completed)
+		s.Drift = &drift
+	}
+	return s
+}
+
+// String renders the serve one-liner: record counts, the per-scheme regret
+// ranking, and the shadow disagreement rate.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d collective", s.Collective)
+	if s.Collective > 0 {
+		b.WriteString(" (regret")
+		for _, st := range s.Schemes {
+			fmt.Fprintf(&b, " %s=%+.3gs", st.Scheme, st.RegretSeconds)
+		}
+		if s.Fallbacks > 0 {
+			fmt.Fprintf(&b, "; %d fallbacks", s.Fallbacks)
+		}
+		b.WriteString(")")
+	}
+	fmt.Fprintf(&b, ", %d scale", s.Scale)
+	if s.Scale > 0 {
+		fmt.Fprintf(&b, " (%s", s.Primary)
+		total := int64(0)
+		for _, lw := range s.Laws {
+			total += lw.ScaleOut + lw.ScaleIn + lw.Hold
+		}
+		if total > 0 {
+			fmt.Fprintf(&b, ", shadow disagreement %.0f%%", 100*float64(s.Disagreements)/float64(total))
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// ftsv formats a float for the TSV golden exactly like the Prometheus
+// exposition does, so the golden diff semantics match.
+func ftsv(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTSV renders the summary as the deterministic TSV the golden gate
+// pins: per-scheme counterfactual totals, per-law shadow verdict counts,
+// and the ledger totals. Byte-identical across same-seed runs.
+func (s *Summary) WriteTSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("## collective\n")
+	b.WriteString("scheme\tchosen\texecuted\tregret_seconds\tunpriced\tabsent\n")
+	for _, st := range s.Schemes {
+		fmt.Fprintf(&b, "%s\t%d\t%d\t%s\t%d\t%d\n",
+			st.Scheme, st.Chosen, st.Executed, ftsv(st.RegretSeconds), st.Unpriced, st.Absent)
+	}
+	b.WriteString("## scale\n")
+	b.WriteString("law\tscale_out\tscale_in\thold\tdisagree\n")
+	for _, lw := range s.Laws {
+		fmt.Fprintf(&b, "%s\t%d\t%d\t%d\t%d\n", lw.Law, lw.ScaleOut, lw.ScaleIn, lw.Hold, lw.Disagree)
+	}
+	b.WriteString("## totals\n")
+	fmt.Fprintf(&b, "collective\t%d\n", s.Collective)
+	fmt.Fprintf(&b, "scale\t%d\n", s.Scale)
+	fmt.Fprintf(&b, "fallbacks\t%d\n", s.Fallbacks)
+	fmt.Fprintf(&b, "stalled\t%d\n", s.Stalled)
+	fmt.Fprintf(&b, "regret_seconds\t%s\n", ftsv(s.TotalRegretSeconds))
+	if s.Drift != nil {
+		fmt.Fprintf(&b, "drift_windows\t%d\n", s.Drift.Windows)
+		fmt.Fprintf(&b, "drift_attainment\t%s\n", ftsv(s.Drift.Attainment))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FprintDiff prints the per-scheme regret and per-law verdict deltas of two
+// summaries side by side (run B minus run A).
+func FprintDiff(w io.Writer, a, b *Summary) error {
+	var out strings.Builder
+	fmt.Fprintf(&out, "decision-ledger diff (B - A)\n")
+	fmt.Fprintf(&out, "records: collective %d -> %d (%+d), scale %d -> %d (%+d)\n",
+		a.Collective, b.Collective, b.Collective-a.Collective,
+		a.Scale, b.Scale, b.Scale-a.Scale)
+
+	schemes := map[string][2]*SchemeStat{}
+	for i := range a.Schemes {
+		st := schemes[a.Schemes[i].Scheme]
+		st[0] = &a.Schemes[i]
+		schemes[a.Schemes[i].Scheme] = st
+	}
+	for i := range b.Schemes {
+		st := schemes[b.Schemes[i].Scheme]
+		st[1] = &b.Schemes[i]
+		schemes[b.Schemes[i].Scheme] = st
+	}
+	names := make([]string, 0, len(schemes))
+	for n := range schemes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(&out, "%-12s %14s %14s %14s\n", "scheme", "regret A (s)", "regret B (s)", "delta (s)")
+		for _, n := range names {
+			var ra, rb float64
+			pair := schemes[n]
+			if pair[0] != nil {
+				ra = pair[0].RegretSeconds
+			}
+			if pair[1] != nil {
+				rb = pair[1].RegretSeconds
+			}
+			fmt.Fprintf(&out, "%-12s %14.6f %14.6f %+14.6f\n", n, ra, rb, rb-ra)
+		}
+	}
+
+	laws := map[string][2]*LawStat{}
+	for i := range a.Laws {
+		st := laws[a.Laws[i].Law]
+		st[0] = &a.Laws[i]
+		laws[a.Laws[i].Law] = st
+	}
+	for i := range b.Laws {
+		st := laws[b.Laws[i].Law]
+		st[1] = &b.Laws[i]
+		laws[b.Laws[i].Law] = st
+	}
+	lawNames := make([]string, 0, len(laws))
+	for n := range laws {
+		lawNames = append(lawNames, n)
+	}
+	sort.Strings(lawNames)
+	if len(lawNames) > 0 {
+		fmt.Fprintf(&out, "%-12s %10s %10s %10s %10s\n", "law", "out Δ", "in Δ", "hold Δ", "disagree Δ")
+		for _, n := range lawNames {
+			pair := laws[n]
+			var la, lb LawStat
+			if pair[0] != nil {
+				la = *pair[0]
+			}
+			if pair[1] != nil {
+				lb = *pair[1]
+			}
+			fmt.Fprintf(&out, "%-12s %+10d %+10d %+10d %+10d\n", n,
+				lb.ScaleOut-la.ScaleOut, lb.ScaleIn-la.ScaleIn,
+				lb.Hold-la.Hold, lb.Disagree-la.Disagree)
+		}
+	}
+	_, err := io.WriteString(w, out.String())
+	return err
+}

@@ -1,0 +1,142 @@
+package decisions
+
+import "sort"
+
+// ShadowRank is one law's row in the single-run counterfactual ranking.
+type ShadowRank struct {
+	Law  string `json:"law"`
+	Rank int    `json:"rank"`
+	// EstAttainment is the law's estimated SLA attainment had it driven the
+	// fleet: realized outcomes, with each window's completions charged as
+	// missed when the law's counterfactual fleet ran a capacity deficit
+	// versus the actual fleet while the system was loaded.
+	EstAttainment float64 `json:"est_attainment"`
+	// EstGPUSeconds integrates the law's counterfactual committed fleet over
+	// the decision windows (committed instances x window x GPUs/instance).
+	EstGPUSeconds float64 `json:"est_gpu_seconds"`
+	ChargedMisses int     `json:"charged_misses"`
+	Completed     int     `json:"completed"`
+	// Deficit counts windows where the law's fleet trailed the actual one.
+	Deficit int `json:"deficit_windows"`
+}
+
+// ShadowRanking replays every shadow law's decision stream against the
+// recorded outcome windows and ranks the laws from this single run the same
+// way the multi-run scoreboard does: attainment desc, GPU-seconds asc, name.
+//
+// The replay reconstructs each law's counterfactual committed fleet from its
+// verdicts alone (scale_out -> +1 capped at the fleet size, scale_in -> -1
+// floored at MinActive, starting from InitialActive). A window's realized
+// completions and SLA verdicts are taken as-is when the law's fleet matches
+// or exceeds the actual committed fleet; when the law ran a deficit while
+// there was queued work, the window's completions are charged as misses —
+// the law would not have had the capacity that produced them.
+func (l *Ledger) ShadowRanking() []ShadowRank {
+	if l == nil || len(l.Scale) == 0 {
+		return nil
+	}
+	fleet := l.Meta.Fleet
+	if fleet <= 0 {
+		fleet = 1
+	}
+	min := l.Meta.MinActive
+	if min <= 0 {
+		min = 1
+	}
+	start := l.Meta.InitialActive
+	if start <= 0 {
+		start = min
+	}
+	gpus := l.Meta.GPUsPerInstance
+	if gpus <= 0 {
+		gpus = 1
+	}
+
+	// Collect the law set from the first record (every record carries the
+	// full shadow panel, sorted by name).
+	laws := make([]string, 0, len(l.Scale[0].Shadows))
+	for _, sh := range l.Scale[0].Shadows {
+		laws = append(laws, sh.Law)
+	}
+
+	ranks := make([]ShadowRank, 0, len(laws))
+	for _, law := range laws {
+		committed := start
+		var gpuSeconds float64
+		var charged, completed, met, deficit int
+		for i := range l.Scale {
+			r := &l.Scale[i]
+			// The law's verdict on this step's signals.
+			verdict := ""
+			for _, sh := range r.Shadows {
+				if sh.Law == law {
+					verdict = sh.Decision
+					break
+				}
+			}
+			switch verdict {
+			case "scale_out":
+				if committed < fleet {
+					committed++
+				}
+			case "scale_in":
+				if committed > min {
+					committed--
+				}
+			}
+			// Actual committed fleet after this step's applied action.
+			actual := r.Signals.Active + r.Signals.Activating
+			switch r.Applied {
+			case "activate":
+				actual++
+			case "deactivate":
+				actual--
+			}
+			// Window to the next decision (or run end).
+			tNext := l.Meta.End
+			if i+1 < len(l.Scale) {
+				tNext = l.Scale[i+1].T
+			}
+			if tNext > r.T {
+				gpuSeconds += float64(committed) * (tNext - r.T) * float64(gpus)
+			}
+			if o := r.Outcome; o != nil && o.Completed > 0 {
+				completed += o.Completed
+				if committed < actual && r.Signals.Backlog > 0 {
+					// Capacity deficit under load: the realized completions
+					// relied on instances this law would not have had.
+					charged += o.Completed
+					deficit++
+				} else {
+					charged += o.Completed - o.Met
+				}
+				met += o.Met
+			}
+		}
+		att := 1.0
+		if completed > 0 {
+			att = 1 - float64(charged)/float64(completed)
+		}
+		ranks = append(ranks, ShadowRank{
+			Law:           law,
+			EstAttainment: att,
+			EstGPUSeconds: gpuSeconds,
+			ChargedMisses: charged,
+			Completed:     completed,
+			Deficit:       deficit,
+		})
+	}
+	sort.SliceStable(ranks, func(i, j int) bool {
+		if ranks[i].EstAttainment != ranks[j].EstAttainment {
+			return ranks[i].EstAttainment > ranks[j].EstAttainment
+		}
+		if ranks[i].EstGPUSeconds != ranks[j].EstGPUSeconds {
+			return ranks[i].EstGPUSeconds < ranks[j].EstGPUSeconds
+		}
+		return ranks[i].Law < ranks[j].Law
+	})
+	for i := range ranks {
+		ranks[i].Rank = i + 1
+	}
+	return ranks
+}

@@ -55,6 +55,8 @@ type Server struct {
 	traceFile string
 	runs      []RunSummary
 	snaps     [][]byte // per-run metric snapshots (index parallels runs), for /runs/diff
+	decs      []byte   // latest published decision ledger (JSON), for /decisions
+	decSnaps  [][]byte // per-run decision-ledger snapshots (index parallels runs)
 }
 
 // NewServer returns an empty Server; install it as an http.Handler.
@@ -101,6 +103,7 @@ func (s *Server) AddRun(r RunSummary) {
 	r.ID = len(s.runs) + 1
 	s.runs = append(s.runs, r)
 	s.snaps = append(s.snaps, s.prom)
+	s.decSnaps = append(s.decSnaps, s.decs)
 	s.mu.Unlock()
 }
 
@@ -124,6 +127,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.serveRuns(w)
 	case "/runs/diff":
 		s.serveRunsDiff(w, r)
+	case "/decisions":
+		s.serveDecisions(w, r)
 	case "/trace":
 		s.serveTrace(w)
 	default:
@@ -210,13 +215,18 @@ type RunsDiff struct {
 }
 
 // serveRunsDiff diffs the metric snapshots captured at two runs' AddRun
-// points: /runs/diff?a=1&b=2.
+// points: /runs/diff?a=1&b=2. The optional view=critpath reduces the diff to
+// the per-stage delta table of the two runs' critical-path partitions.
 func (s *Server) serveRunsDiff(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	a, errA := strconv.Atoi(q.Get("a"))
 	b, errB := strconv.Atoi(q.Get("b"))
 	if errA != nil || errB != nil {
 		http.Error(w, "want ?a=<run-id>&b=<run-id>", http.StatusBadRequest)
+		return
+	}
+	if v := q.Get("view"); v != "" && v != "critpath" {
+		http.Error(w, "bad view: want critpath", http.StatusBadRequest)
 		return
 	}
 	s.mu.RLock()
@@ -234,6 +244,10 @@ func (s *Server) serveRunsDiff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sa, sb := parseSeries(snapA), parseSeries(snapB)
+	if q.Get("view") == "critpath" {
+		writeJSON(w, critPathDiff(a, b, sa, sb))
+		return
+	}
 	diff := RunsDiff{A: a, B: b, Changed: []SeriesDiff{}, OnlyA: []string{}, OnlyB: []string{}}
 	names := make([]string, 0, len(sa)+len(sb))
 	for k := range sa {

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"heroserve/internal/telemetry/decisions"
+)
+
+// PublishDecisions stores the serialized decision ledger (the output of
+// decisions.Ledger.WriteJSON) as the daemon's current /decisions snapshot.
+// Like PublishHub it MUST be called from the simulation goroutine at a safe
+// point; the caller serializes so the handlers never touch live sim state.
+func (s *Server) PublishDecisions(doc []byte) {
+	s.mu.Lock()
+	s.decs = doc
+	s.mu.Unlock()
+}
+
+// serveDecisions returns the published decision ledger as JSON:
+// /decisions[?run=<id>][&kind=collective|scale][&policy=<name>][&from=<t>][&to=<t>].
+// run selects a completed run's snapshot (captured at AddRun); without it the
+// latest published ledger is served. The kind/policy/from/to filters are
+// applied server-side via decisions.Filter; with no filters the stored bytes
+// are served verbatim.
+func (s *Server) serveDecisions(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	s.mu.RLock()
+	doc := s.decs
+	n := len(s.decSnaps)
+	if runStr := q.Get("run"); runStr != "" {
+		id, err := strconv.Atoi(runStr)
+		if err != nil || id < 1 || id > n {
+			s.mu.RUnlock()
+			http.Error(w, "bad run id: have "+strconv.Itoa(n)+" runs", http.StatusNotFound)
+			return
+		}
+		doc = s.decSnaps[id-1]
+	}
+	s.mu.RUnlock()
+	if len(doc) == 0 {
+		http.Error(w, "no decision ledger published yet", http.StatusNotFound)
+		return
+	}
+	kind := q.Get("kind")
+	policy := q.Get("policy")
+	fromStr, toStr := q.Get("from"), q.Get("to")
+	if kind == "" && policy == "" && fromStr == "" && toStr == "" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(doc)
+		return
+	}
+	if kind != "" && kind != decisions.KindCollective && kind != decisions.KindScale {
+		http.Error(w, "bad kind: want collective or scale", http.StatusBadRequest)
+		return
+	}
+	var from, to float64
+	var err error
+	if fromStr != "" {
+		if from, err = strconv.ParseFloat(fromStr, 64); err != nil {
+			http.Error(w, "bad from", http.StatusBadRequest)
+			return
+		}
+	}
+	if toStr != "" {
+		if to, err = strconv.ParseFloat(toStr, 64); err != nil {
+			http.Error(w, "bad to", http.StatusBadRequest)
+			return
+		}
+	}
+	led, err := decisions.ReadJSON(bytes.NewReader(doc))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	led.Filter(kind, policy, from, to).WriteJSON(w)
+}
+
+// StageDelta is one critical-path stage's change between two runs.
+type StageDelta struct {
+	Stage     string  `json:"stage"`
+	TTFTA     float64 `json:"ttft_a"`
+	TTFTB     float64 `json:"ttft_b"`
+	TTFTDelta float64 `json:"ttft_delta"`
+	E2EA      float64 `json:"e2e_a"`
+	E2EB      float64 `json:"e2e_b"`
+	E2EDelta  float64 `json:"e2e_delta"`
+}
+
+// CritPathDiff is the /runs/diff?view=critpath response: the per-stage delta
+// of the two runs' ttft/e2e_critical_path_seconds_total partitions. Like the
+// raw metric diff, snapshots are cumulative — diffing run N against N-1
+// isolates run N's own critical-path contribution.
+type CritPathDiff struct {
+	A      int          `json:"a"`
+	B      int          `json:"b"`
+	Stages []StageDelta `json:"stages"`
+}
+
+const (
+	ttftStagePrefix = `ttft_critical_path_seconds_total{stage="`
+	e2eStagePrefix  = `e2e_critical_path_seconds_total{stage="`
+)
+
+// critPathDiff reduces two metric snapshots to the per-stage delta table.
+func critPathDiff(a, b int, sa, sb map[string]float64) CritPathDiff {
+	type pair struct{ ttftA, ttftB, e2eA, e2eB float64 }
+	stages := map[string]*pair{}
+	get := func(stage string) *pair {
+		p, ok := stages[stage]
+		if !ok {
+			p = &pair{}
+			stages[stage] = p
+		}
+		return p
+	}
+	scan := func(series map[string]float64, set func(p *pair, family int, v float64)) {
+		for k, v := range series {
+			if strings.HasPrefix(k, ttftStagePrefix) {
+				if stage, ok := stageLabel(k, ttftStagePrefix); ok {
+					set(get(stage), 0, v)
+				}
+			} else if strings.HasPrefix(k, e2eStagePrefix) {
+				if stage, ok := stageLabel(k, e2eStagePrefix); ok {
+					set(get(stage), 1, v)
+				}
+			}
+		}
+	}
+	scan(sa, func(p *pair, fam int, v float64) {
+		if fam == 0 {
+			p.ttftA = v
+		} else {
+			p.e2eA = v
+		}
+	})
+	scan(sb, func(p *pair, fam int, v float64) {
+		if fam == 0 {
+			p.ttftB = v
+		} else {
+			p.e2eB = v
+		}
+	})
+	out := CritPathDiff{A: a, B: b, Stages: []StageDelta{}}
+	names := make([]string, 0, len(stages))
+	for n := range stages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := stages[n]
+		out.Stages = append(out.Stages, StageDelta{
+			Stage:     n,
+			TTFTA:     p.ttftA,
+			TTFTB:     p.ttftB,
+			TTFTDelta: p.ttftB - p.ttftA,
+			E2EA:      p.e2eA,
+			E2EB:      p.e2eB,
+			E2EDelta:  p.e2eB - p.e2eA,
+		})
+	}
+	return out
+}
+
+// stageLabel extracts the stage value from a series key of the form
+// family{stage="<stage>"}.
+func stageLabel(series, prefix string) (string, bool) {
+	rest := series[len(prefix):]
+	end := strings.IndexByte(rest, '"')
+	if end < 0 {
+		return "", false
+	}
+	return rest[:end], true
+}

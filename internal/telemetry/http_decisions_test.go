@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"heroserve/internal/telemetry/decisions"
+)
+
+// ledgerDoc serializes a small two-kind ledger for the endpoint tests.
+func ledgerDoc(t *testing.T) ([]byte, *decisions.Ledger) {
+	t.Helper()
+	l := decisions.NewLedger()
+	l.AddCollective(decisions.CollectiveRecord{
+		T: 1, Group: "decode/0/0",
+		Candidates: []decisions.CollectiveCandidate{{Label: "r0", Scheme: "ring", CostJ: 2, CostSeconds: 0.2}},
+		Scheme:     "ring", Reason: "table", Actual: 0.2,
+	})
+	l.AddCollective(decisions.CollectiveRecord{
+		T: 5, Group: "decode/0/0",
+		Candidates: []decisions.CollectiveCandidate{{Label: "s0", Scheme: "ina-sync", CostJ: 1, CostSeconds: 0.1}},
+		Scheme:     "ina-sync", Reason: "table", Actual: 0.1,
+	})
+	l.AddScale(decisions.ScaleRecord{
+		T: 2, Primary: "backlog", Decision: "hold", Applied: "none", Instance: -1,
+	})
+	l.SetEnd(10)
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), l
+}
+
+// TestServerDecisions drives /decisions: 404 before publication, verbatim
+// bytes without filters, server-side filtering, per-run snapshots, and the
+// error paths.
+func TestServerDecisions(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, _ := get(t, ts.URL+"/decisions")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/decisions before publish: status %d, want 404", resp.StatusCode)
+	}
+
+	doc, _ := ledgerDoc(t)
+	srv.PublishDecisions(doc)
+
+	resp, body := get(t, ts.URL+"/decisions")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/decisions status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, doc) {
+		t.Error("unfiltered /decisions did not serve the published bytes verbatim")
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+
+	decode := func(body []byte) *decisions.Ledger {
+		led, err := decisions.ReadJSON(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("filtered response not a ledger: %v", err)
+		}
+		return led
+	}
+	_, body = get(t, ts.URL+"/decisions?kind=scale")
+	if led := decode(body); len(led.Collective) != 0 || len(led.Scale) != 1 {
+		t.Errorf("kind=scale returned %d/%d records", len(led.Collective), len(led.Scale))
+	}
+	_, body = get(t, ts.URL+"/decisions?policy=ina-sync")
+	if led := decode(body); len(led.Collective) != 1 || led.Collective[0].Scheme != "ina-sync" {
+		t.Errorf("policy=ina-sync returned %d records", len(led.Collective))
+	}
+	_, body = get(t, ts.URL+"/decisions?kind=collective&from=2&to=6")
+	if led := decode(body); len(led.Collective) != 1 || led.Collective[0].T != 5 {
+		t.Errorf("time filter returned %d records", len(led.Collective))
+	}
+
+	for path, want := range map[string]int{
+		"/decisions?kind=bogus": http.StatusBadRequest,
+		"/decisions?from=x":     http.StatusBadRequest,
+		"/decisions?to=x":       http.StatusBadRequest,
+		"/decisions?run=9":      http.StatusNotFound,
+		"/decisions?run=x":      http.StatusNotFound,
+	} {
+		resp, _ := get(t, ts.URL+path)
+		if resp.StatusCode != want {
+			t.Errorf("%s status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	// Per-run snapshots: AddRun captures the ledger published before it.
+	h := New()
+	if err := srv.PublishHub(h); err != nil {
+		t.Fatal(err)
+	}
+	srv.AddRun(RunSummary{System: "heroserve"})
+	srv.PublishDecisions([]byte(`{"meta":{},"collective":[],"scale":[]}`))
+	if err := srv.PublishHub(h); err != nil {
+		t.Fatal(err)
+	}
+	srv.AddRun(RunSummary{System: "distserve"})
+
+	_, body = get(t, ts.URL+"/decisions?run=1")
+	if !bytes.Equal(body, doc) {
+		t.Error("run=1 did not serve the first run's ledger snapshot")
+	}
+	_, body = get(t, ts.URL+"/decisions?run=2&kind=scale")
+	if led := decode(body); led.Len() != 0 {
+		t.Errorf("run=2 filtered ledger has %d records, want 0", led.Len())
+	}
+}
+
+// TestServerRunsDiffCritPath exercises /runs/diff?view=critpath: the raw
+// series diff collapses to a per-stage delta table of the two critical-path
+// partitions.
+func TestServerRunsDiffCritPath(t *testing.T) {
+	clock := 1.0
+	h := New()
+	h.Attach(func() float64 { return clock }, "planned")
+	ttftQ := h.Metrics.Counter("ttft_critical_path_seconds_total", "TTFT critical path.", []string{"stage"}, "queue")
+	e2eQ := h.Metrics.Counter("e2e_critical_path_seconds_total", "E2E critical path.", []string{"stage"}, "queue")
+	e2eD := h.Metrics.Counter("e2e_critical_path_seconds_total", "E2E critical path.", []string{"stage"}, "decode-compute")
+	srv := NewServer()
+
+	ttftQ.Add(1.5)
+	e2eQ.Add(2)
+	e2eD.Add(10)
+	if err := srv.PublishHub(h); err != nil {
+		t.Fatal(err)
+	}
+	srv.AddRun(RunSummary{System: "heroserve"})
+
+	ttftQ.Add(0.5)
+	e2eD.Add(5)
+	if err := srv.PublishHub(h); err != nil {
+		t.Fatal(err)
+	}
+	srv.AddRun(RunSummary{System: "heroserve"})
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := get(t, ts.URL+"/runs/diff?a=1&b=2&view=critpath")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("critpath view status %d: %s", resp.StatusCode, body)
+	}
+	var diff CritPathDiff
+	if err := json.Unmarshal(body, &diff); err != nil {
+		t.Fatalf("critpath view not JSON: %v", err)
+	}
+	if diff.A != 1 || diff.B != 2 {
+		t.Errorf("ids = %d,%d", diff.A, diff.B)
+	}
+	if len(diff.Stages) != 2 {
+		t.Fatalf("stages = %+v, want decode-compute and queue", diff.Stages)
+	}
+	// Sorted by stage name: decode-compute first.
+	d := diff.Stages[0]
+	if d.Stage != "decode-compute" || d.E2EA != 10 || d.E2EB != 15 || d.E2EDelta != 5 {
+		t.Errorf("decode-compute delta = %+v", d)
+	}
+	q := diff.Stages[1]
+	if q.Stage != "queue" || q.TTFTA != 1.5 || q.TTFTB != 2 || q.TTFTDelta != 0.5 {
+		t.Errorf("queue TTFT delta = %+v", q)
+	}
+	if q.E2EA != 2 || q.E2EB != 2 || q.E2EDelta != 0 {
+		t.Errorf("queue E2E delta = %+v", q)
+	}
+
+	// Unknown views are rejected.
+	resp, _ = get(t, ts.URL+"/runs/diff?a=1&b=2&view=bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus view status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pusher POSTs Prometheus exposition snapshots to a remote endpoint using
+// the pushgateway path layout (<base>/metrics/job/<job>). Pushes run on a
+// single background goroutine with a latest-wins mailbox: a snapshot offered
+// while a push is in flight replaces any still-queued one, so a slow or dead
+// endpoint never backs pressure into the simulation loop and never queues
+// stale snapshots.
+//
+// Failures (after retries) only increment an atomic counter; the simulation
+// loop reads Failures at its own safe points and mirrors it into the
+// telemetry_push_failures_total registry counter — the registry itself is
+// single-goroutine and is never touched from the push goroutine.
+type Pusher struct {
+	url      string
+	client   *http.Client
+	attempts int
+	backoff  time.Duration
+
+	mailbox  chan []byte
+	done     chan struct{}
+	closed   sync.Once
+	stopped  atomic.Bool
+	failures atomic.Int64
+	pushed   atomic.Int64
+}
+
+// NewPusher builds a pusher targeting base (a URL such as
+// http://host:9091). Unless base already contains a /metrics/job/ path, the
+// pushgateway layout /metrics/job/<job> is appended. client nil uses a
+// default with a 5 s timeout.
+func NewPusher(base, job string, client *http.Client) (*Pusher, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: push url: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("telemetry: push url %q: want http(s)", base)
+	}
+	if !strings.Contains(u.Path, "/metrics/job/") {
+		if job == "" {
+			job = "heroserve"
+		}
+		u.Path = strings.TrimRight(u.Path, "/") + "/metrics/job/" + url.PathEscape(job)
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	p := &Pusher{
+		url:      u.String(),
+		client:   client,
+		attempts: 3,
+		backoff:  50 * time.Millisecond,
+		mailbox:  make(chan []byte, 1),
+		done:     make(chan struct{}),
+	}
+	go p.run()
+	return p, nil
+}
+
+// URL returns the fully resolved push target.
+func (p *Pusher) URL() string { return p.url }
+
+// SetRetry overrides the retry schedule (attempts total tries, backoff the
+// initial delay, doubled per retry). Call before the first Offer.
+func (p *Pusher) SetRetry(attempts int, backoff time.Duration) {
+	if attempts > 0 {
+		p.attempts = attempts
+	}
+	if backoff >= 0 {
+		p.backoff = backoff
+	}
+}
+
+// Offer hands a snapshot to the push goroutine, replacing any queued one.
+// It never blocks. Returns false after Close. Offer and Close must be called
+// from the same goroutine (the simulation driver); only Failures/Pushed are
+// safe from anywhere.
+func (p *Pusher) Offer(snapshot []byte) bool {
+	if p.stopped.Load() {
+		return false
+	}
+	for {
+		select {
+		case p.mailbox <- snapshot:
+			return true
+		default:
+		}
+		// Mailbox full: drop the stale queued snapshot and retry.
+		select {
+		case <-p.mailbox:
+		default:
+		}
+	}
+}
+
+// Close stops the push goroutine after it drains any queued snapshot, and
+// waits for it to exit.
+func (p *Pusher) Close() {
+	p.closed.Do(func() {
+		p.stopped.Store(true)
+		close(p.mailbox)
+	})
+	<-p.done
+}
+
+// Failures returns the number of snapshots dropped after exhausting all
+// retries. Safe from any goroutine.
+func (p *Pusher) Failures() int64 { return p.failures.Load() }
+
+// Pushed returns the number of snapshots delivered. Safe from any goroutine.
+func (p *Pusher) Pushed() int64 { return p.pushed.Load() }
+
+func (p *Pusher) run() {
+	defer close(p.done)
+	for body := range p.mailbox {
+		if p.push(body) {
+			p.pushed.Add(1)
+		} else {
+			p.failures.Add(1)
+		}
+	}
+}
+
+// push POSTs one snapshot with exponential-backoff retries. Any 2xx status
+// counts as delivered.
+func (p *Pusher) push(body []byte) bool {
+	delay := p.backoff
+	for i := 0; i < p.attempts; i++ {
+		if i > 0 && delay > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+		resp, err := p.client.Post(p.url, ContentTypeProm, bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// pushTarget is a scripted pushgateway: it records every request and answers
+// from a status script (last entry repeats).
+type pushTarget struct {
+	mu     sync.Mutex
+	bodies []string
+	paths  []string
+	types  []string
+	script []int
+}
+
+func (pt *pushTarget) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, _ := io.ReadAll(r.Body)
+	pt.mu.Lock()
+	pt.bodies = append(pt.bodies, string(body))
+	pt.paths = append(pt.paths, r.URL.Path)
+	pt.types = append(pt.types, r.Header.Get("Content-Type"))
+	status := http.StatusOK
+	if len(pt.script) > 0 {
+		status = pt.script[0]
+		if len(pt.script) > 1 {
+			pt.script = pt.script[1:]
+		}
+	}
+	pt.mu.Unlock()
+	w.WriteHeader(status)
+}
+
+func (pt *pushTarget) count() int {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return len(pt.bodies)
+}
+
+func TestPusherDelivers(t *testing.T) {
+	target := &pushTarget{}
+	ts := httptest.NewServer(target)
+	defer ts.Close()
+
+	p, err := NewPusher(ts.URL, "heroserve", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(p.URL(), "/metrics/job/heroserve") {
+		t.Errorf("resolved URL %q lacks the pushgateway path", p.URL())
+	}
+	if !p.Offer([]byte("snapshot_a 1\n")) {
+		t.Fatal("offer refused")
+	}
+	p.Close()
+	if got := p.Pushed(); got != 1 {
+		t.Fatalf("pushed = %d, want 1", got)
+	}
+	if got := p.Failures(); got != 0 {
+		t.Errorf("failures = %d", got)
+	}
+	target.mu.Lock()
+	defer target.mu.Unlock()
+	if len(target.bodies) != 1 || target.bodies[0] != "snapshot_a 1\n" {
+		t.Errorf("target saw %q", target.bodies)
+	}
+	if target.paths[0] != "/metrics/job/heroserve" {
+		t.Errorf("target path %q", target.paths[0])
+	}
+	if !strings.HasPrefix(target.types[0], "text/plain") {
+		t.Errorf("content type %q", target.types[0])
+	}
+	// Offer after Close is refused, not a panic.
+	if p.Offer([]byte("late")) {
+		t.Error("offer accepted after Close")
+	}
+}
+
+func TestPusherRetriesThenSucceeds(t *testing.T) {
+	target := &pushTarget{script: []int{http.StatusBadGateway, http.StatusBadGateway, http.StatusOK}}
+	ts := httptest.NewServer(target)
+	defer ts.Close()
+
+	p, err := NewPusher(ts.URL, "j", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetRetry(3, 0)
+	p.Offer([]byte("x 1\n"))
+	p.Close()
+	if p.Pushed() != 1 || p.Failures() != 0 {
+		t.Fatalf("pushed/failures = %d/%d, want 1/0", p.Pushed(), p.Failures())
+	}
+	if got := target.count(); got != 3 {
+		t.Errorf("target saw %d attempts, want 3", got)
+	}
+}
+
+func TestPusherCountsFailures(t *testing.T) {
+	target := &pushTarget{script: []int{http.StatusInternalServerError}}
+	ts := httptest.NewServer(target)
+	defer ts.Close()
+
+	p, err := NewPusher(ts.URL, "j", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetRetry(2, 0)
+	p.Offer([]byte("x 1\n"))
+	p.Close()
+	if p.Pushed() != 0 || p.Failures() != 1 {
+		t.Fatalf("pushed/failures = %d/%d, want 0/1", p.Pushed(), p.Failures())
+	}
+	if got := target.count(); got != 2 {
+		t.Errorf("target saw %d attempts, want 2", got)
+	}
+}
+
+func TestPusherURLLayout(t *testing.T) {
+	p, err := NewPusher("http://host:9091", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.URL() != "http://host:9091/metrics/job/heroserve" {
+		t.Errorf("default job URL = %q", p.URL())
+	}
+	p.Close()
+	// An explicit pushgateway path is kept verbatim.
+	p, err = NewPusher("http://host:9091/metrics/job/custom", "ignored", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.URL() != "http://host:9091/metrics/job/custom" {
+		t.Errorf("explicit path URL = %q", p.URL())
+	}
+	p.Close()
+	if _, err := NewPusher("ftp://host", "j", nil); err == nil {
+		t.Error("non-http scheme accepted")
+	}
+	if _, err := NewPusher("http://\x00bad", "j", nil); err == nil {
+		t.Error("unparsable URL accepted")
+	}
+}
+
+// TestPusherLatestWins floods the mailbox while the target is slow: the
+// pusher must never block the offering goroutine and must drop stale queued
+// snapshots rather than deliver them late.
+func TestPusherLatestWins(t *testing.T) {
+	release := make(chan struct{})
+	target := &pushTarget{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		target.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	p, err := NewPusher(ts.URL, "j", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if !p.Offer([]byte("snap\n")) {
+			t.Fatal("offer refused while open")
+		}
+	}
+	close(release)
+	p.Close()
+	// At most the in-flight snapshot plus the final queued one are delivered.
+	if got := p.Pushed(); got < 1 || got > 2 {
+		t.Errorf("pushed = %d, want 1 or 2 (latest-wins)", got)
+	}
+}

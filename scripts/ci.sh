@@ -52,6 +52,21 @@ go run ./cmd/tracestat "$ART/spans.json" > "$ART/critpath.txt"
 grep -q 'critical-path breakdown' "$ART/critpath.txt"
 go run ./cmd/tracestat -diff "$ART/spans.json" "$ART/spans.json" | grep -q 'delta +0.000000s'
 
+# Decision-ledger smoke: an autoscaled run must export a ledger whose
+# counterfactual tables decisionstat can render; a self-diff must be zero
+# deltas, and the chosen scheme of a healthy run must carry zero execution
+# regret (the table pick IS the argmin).
+echo "== decision-ledger smoke"
+go run ./cmd/serve -trace "$ART/trace.json" -system heroserve -topology testbed \
+	-model opt-13b -autoscale -scale-policy hybrid-slo \
+	-decisions-out "$ART/decisions.json" > /dev/null
+go run ./cmd/decisionstat "$ART/decisions.json" > "$ART/decisions.txt"
+grep -q 'decision ledger:' "$ART/decisions.txt"
+grep -q 'counterfactual cost of always forcing a scheme' "$ART/decisions.txt"
+grep -q 'shadow ranking' "$ART/decisions.txt"
+grep -q '^execution regret 0s total' "$ART/decisions.txt"
+go run ./cmd/decisionstat -diff "$ART/decisions.json" "$ART/decisions.json" | grep -q 'collective .* (+0)'
+
 # Scaling-study smoke: the ext-scale scoreboard must run end to end in both
 # machine formats. The CSV must carry the static reference plus every policy;
 # the JSON must parse. (Registry-vs-Results agreement is asserted inside the

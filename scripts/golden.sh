@@ -25,6 +25,12 @@
 # span export. That catches drift the metrics exposition can't see — e.g. a
 # span that stops being emitted, or an allreduce silently switching scheme.
 # Requires jq; skipped with a warning when jq is missing.
+#
+# Each case further pins the decision-ledger summary ($name.decisions.tsv,
+# rendered by decisionstat -tsv from the run's -decisions-out export): the
+# per-scheme counterfactual regret totals and the scale laws' shadow verdict
+# matrix. Under refcheck the reference simulator paths must reproduce the
+# SAME decision ledgers — counterfactual costs included — bit for bit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +53,7 @@ BIN="$OUT_DIR/bin"
 mkdir -p "$BIN"
 go build -o "$BIN/tracegen" ./cmd/tracegen
 go build -o "$BIN/serve" ./cmd/serve
+go build -o "$BIN/decisionstat" ./cmd/decisionstat
 
 HAVE_JQ=1
 if ! command -v jq > /dev/null; then
@@ -79,8 +86,10 @@ produce() {
 	# shellcheck disable=SC2086
 	"$BIN/serve" -trace "$OUT_DIR/$name.trace.json" $sv $EXTRA_SV \
 		-metrics-out "$OUT_DIR/$name.raw.prom" \
-		-trace-out "$OUT_DIR/$name.spans.json" > /dev/null
+		-trace-out "$OUT_DIR/$name.spans.json" \
+		-decisions-out "$OUT_DIR/$name.decisions.json" > /dev/null
 	LC_ALL=C sort "$OUT_DIR/$name.raw.prom" > "$OUT_DIR/$name.prom"
+	"$BIN/decisionstat" -tsv "$OUT_DIR/$name.decisions.json" > "$OUT_DIR/$name.decisions.tsv"
 	if [[ $HAVE_JQ -eq 1 ]]; then
 		{
 			for q in queue allreduce stages; do
@@ -118,6 +127,8 @@ while IFS='|' read -r name tg sv; do
 		mkdir -p "$GOLDEN_DIR"
 		cp "$OUT_DIR/$name.prom" "$GOLDEN_DIR/$name.prom"
 		echo "golden: wrote $GOLDEN_DIR/$name.prom"
+		cp "$OUT_DIR/$name.decisions.tsv" "$GOLDEN_DIR/$name.decisions.tsv"
+		echo "golden: wrote $GOLDEN_DIR/$name.decisions.tsv"
 		if [[ $HAVE_JQ -eq 1 ]]; then
 			cp "$OUT_DIR/$name.trace.tsv" "$GOLDEN_DIR/$name.trace.tsv"
 			echo "golden: wrote $GOLDEN_DIR/$name.trace.tsv"
@@ -125,6 +136,7 @@ while IFS='|' read -r name tg sv; do
 		continue
 	fi
 	compare "$name" prom || status=1
+	compare "$name" decisions.tsv || status=1
 	if [[ $HAVE_JQ -eq 1 ]]; then
 		compare "$name" trace.tsv || status=1
 	fi
