@@ -1,0 +1,99 @@
+// Command alertstat analyzes an exported SLO alert log (the JSON from
+// cmd/serve's -alerts-out or the daemon's /alerts endpoint): every alert's
+// pending -> firing -> resolved lifecycle with its trigger-time cause
+// snapshot. The default view is the sim-time timeline of transitions — the
+// when-did-it-degrade twin of tracestat's where-did-the-time-go breakdown
+// and decisionstat's what-would-the-road-not-taken-have-cost ledger.
+//
+// Usage:
+//
+//	serve -trace trace.json -alerts-out run.alerts.json ...
+//	alertstat run.alerts.json
+//	alertstat -summary run.alerts.json
+//	alertstat -json run.alerts.json
+//	alertstat -tsv run.alerts.json
+//	alertstat -diff before.json after.json
+//
+// With -diff, two logs' summaries are compared side by side — which rule
+// started firing, which stopped. Output is deterministic for deterministic
+// runs, so the golden gate pins the -tsv rendering per case.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"heroserve/internal/telemetry/slo"
+)
+
+func main() {
+	diff := flag.Bool("diff", false, "compare two alert logs' summaries (takes two files)")
+	summary := flag.Bool("summary", false, "print the per-rule roll-up instead of the timeline")
+	asJSON := flag.Bool("json", false, "emit the summary as JSON instead of text")
+	tsv := flag.Bool("tsv", false, "emit the deterministic alert TSV (the golden-gate pin)")
+	rule := flag.String("rule", "", "keep only this rule's alerts")
+	state := flag.String("state", "", "keep only alerts in this state: pending | firing | resolved")
+	flag.Parse()
+
+	args := flag.Args()
+	switch {
+	case *diff && len(args) == 2:
+		a := load(args[0])
+		b := load(args[1])
+		if err := slo.FprintDiff(os.Stdout, a, b); err != nil {
+			fatalf("%v", err)
+		}
+	case !*diff && len(args) == 1:
+		log := load(args[0])
+		if *rule != "" || *state != "" {
+			log = log.Filter(*state, *rule, 0, 0)
+		}
+		var err error
+		switch {
+		case *tsv:
+			err = log.WriteTSV(os.Stdout)
+		case *asJSON:
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			err = enc.Encode(log.Summarize())
+		case *summary:
+			err = log.FprintSummary(os.Stdout)
+		default:
+			err = log.FprintTimeline(os.Stdout)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fatalf("usage: alertstat [-summary|-json|-tsv] [-rule r] [-state s] run.alerts.json | alertstat -diff a.json b.json")
+	}
+}
+
+// load parses one alert log file ("-" for stdin).
+func load(path string) *slo.Log {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	log, err := slo.ReadLog(r)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	if len(log.Meta.Rules) == 0 {
+		fmt.Fprintf(os.Stderr, "alertstat: warning: %s holds no armed rules (was the run monitored?)\n", path)
+	}
+	return log
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "alertstat: "+format+"\n", args...)
+	os.Exit(1)
+}

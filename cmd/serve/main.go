@@ -11,10 +11,11 @@
 //
 // Daemon mode keeps a live observability plane up while the simulation runs
 // (and after it finishes, until interrupted): /metrics serves the Prometheus
-// exposition, /healthz liveness, /runs the completed-run summaries as JSON,
-// /decisions the counterfactual decision ledger, and /trace the current
-// trace snapshot. With -daemon, -system accepts a comma-separated list
-// replayed sequentially against the same trace:
+// exposition, /healthz liveness (degraded while SLO alerts fire), /runs the
+// completed-run summaries as JSON, /decisions the counterfactual decision
+// ledger, /alerts the SLO alert log, and /trace the current trace snapshot.
+// With -daemon, -system accepts a comma-separated list replayed sequentially
+// against the same trace:
 //
 //	serve -trace trace.json -daemon -listen :9090 -system heroserve,distserve
 //	curl localhost:9090/metrics
@@ -41,6 +42,7 @@ import (
 	"heroserve/internal/stats"
 	"heroserve/internal/telemetry"
 	"heroserve/internal/telemetry/critpath"
+	"heroserve/internal/telemetry/slo"
 	"heroserve/internal/topology"
 	"heroserve/internal/workload"
 )
@@ -71,6 +73,11 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write text-format metrics here")
 	metricsFormat := flag.String("metrics-format", "prom", "metrics exposition format: prom | openmetrics")
 	decisionsOut := flag.String("decisions-out", "", "write the decision ledger (JSON; decisionstat-readable) here")
+	alertsOut := flag.String("alerts-out", "", "write the SLO alert log (JSON; alertstat-readable) here")
+	sloRules := flag.String("slo-rules", "default", "SLO alert rules: default (keyed off -ttft/-tpot) | off | <rules.json>")
+	maxRuns := flag.Int("max-runs", 0, "daemon: retain only the newest N completed runs (0 = unbounded)")
+	maxDecisions := flag.Int("max-decisions", 0, "retain only the newest N decision-ledger records per kind (0 = unbounded)")
+	maxAlerts := flag.Int("max-alerts", 0, "retain only the newest N resolved alerts (0 = unbounded)")
 	pushURL := flag.String("push-url", "", "POST metrics snapshots to this endpoint (pushgateway path layout appended unless present)")
 	pushEvery := flag.Float64("push-every", 15, "metrics push cadence in simulated seconds (with -push-url)")
 	netsimRef := flag.Bool("netsim-ref", false, "use the reference (global) water-filling allocator instead of the incremental fast path (bit-identical output)")
@@ -106,6 +113,12 @@ func main() {
 	}
 	if _, perr := serving.NewScalePolicy(*scalePolicy); perr != nil {
 		fatalf("%v", perr)
+	}
+	if *alertsOut != "" && *sloRules == "off" {
+		fatalf("-alerts-out needs an armed monitor; drop -slo-rules=off")
+	}
+	if *maxRuns < 0 || *maxDecisions < 0 || *maxAlerts < 0 {
+		fatalf("retention caps must be >= 0")
 	}
 	if *tracePath == "" {
 		fatalf("-trace required (use cmd/tracegen to produce one)")
@@ -166,8 +179,29 @@ func main() {
 	// Telemetry: daemon mode always arms the hub; -trace-out selects the
 	// streaming tracer backend so long runs never buffer the trace in RAM.
 	var hub *telemetry.Hub
-	if *traceOut != "" || *metricsOut != "" || *daemon || *decisionsOut != "" || *pushURL != "" {
+	if *traceOut != "" || *metricsOut != "" || *daemon || *decisionsOut != "" || *pushURL != "" || *alertsOut != "" {
 		hub = telemetry.New()
+	}
+	// SLO monitoring defaults on for every telemetered run: the default rule
+	// set keys its burn-rate objectives off the workload's SLA flags, so the
+	// alert log is meaningful without any extra configuration.
+	var sloCfg *slo.Config
+	if hub != nil && *sloRules != "off" {
+		var rules []slo.Rule
+		if *sloRules == "default" {
+			rules = slo.DefaultRules(*ttft, *tpot)
+		} else {
+			rf, rerr := os.Open(*sloRules)
+			if rerr != nil {
+				fatalf("slo rules: %v", rerr)
+			}
+			rules, rerr = slo.ParseRules(rf)
+			rf.Close()
+			if rerr != nil {
+				fatalf("slo rules %s: %v", *sloRules, rerr)
+			}
+		}
+		sloCfg = &slo.Config{Rules: rules, MaxResolved: *maxAlerts}
 	}
 	var pusher *telemetry.Pusher
 	if *pushURL != "" {
@@ -192,6 +226,8 @@ func main() {
 	var srv *telemetry.Server
 	if *daemon {
 		srv = telemetry.NewServer()
+		srv.SetMaxRuns(*maxRuns)
+		slo.InstallAlerts(srv)
 		if *traceOut != "" {
 			srv.SetTraceFile(*traceOut)
 		}
@@ -199,7 +235,7 @@ func main() {
 		if lerr != nil {
 			fatalf("daemon: %v", lerr)
 		}
-		fmt.Printf("daemon: serving /metrics /healthz /runs /decisions /trace on %s\n", ln.Addr())
+		fmt.Printf("daemon: serving /metrics /healthz /runs /decisions /alerts /trace on %s\n", ln.Addr())
 		go func() {
 			if serr := http.Serve(ln, srv); serr != nil {
 				fmt.Fprintf(os.Stderr, "serve: daemon http: %v\n", serr)
@@ -220,7 +256,8 @@ func main() {
 			sla: sla, autoscale: *autoscale, scalePolicy: *scalePolicy,
 			elephants: *elephants, seed: *seed, publishEvery: *publishEvery,
 			netsimRef: *netsimRef, simRef: *simRef,
-			decisionsOut: *decisionsOut, push: push,
+			decisionsOut: *decisionsOut, alertsOut: *alertsOut,
+			slo: sloCfg, ledgerCap: *maxDecisions, push: push,
 		})
 	}
 	if pusher != nil {
@@ -270,6 +307,9 @@ type runParams struct {
 	netsimRef    bool
 	simRef       bool
 	decisionsOut string
+	alertsOut    string
+	slo          *slo.Config
+	ledgerCap    int
 	push         *pushState
 }
 
@@ -320,6 +360,8 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 	if hub != nil {
 		opts.Telemetry = hub
 		opts.SLA = &p.sla
+		opts.SLO = p.slo
+		opts.LedgerCap = p.ledgerCap
 	}
 
 	var sys *serving.System
@@ -351,6 +393,7 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 			eng.Schedule(t, func() {
 				srv.PublishHub(hub)
 				publishDecisions(srv, sys)
+				publishAlerts(srv, sys)
 			})
 		}
 	}
@@ -400,12 +443,25 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 	if d := res.Decisions; d != nil && d.Collective+d.Scale > 0 {
 		fmt.Printf("decisions: %s (decisionstat for the full ledger)\n", d)
 	}
+	if al := res.Alerts; al != nil {
+		fmt.Printf("alerts: %s (alertstat for the timeline)\n", al)
+	}
 	if p.decisionsOut != "" {
 		if led := sys.DecisionLedger(); led != nil {
 			if err := exportFile(p.decisionsOut, led.WriteJSON); err != nil {
 				fatalf("decisions export: %v", err)
 			}
 			fmt.Printf("wrote decision ledger (%d records) to %s\n", led.Len(), p.decisionsOut)
+		}
+	}
+	if p.alertsOut != "" {
+		if mon := sys.SLOMonitor(); mon != nil {
+			if err := exportFile(p.alertsOut, mon.WriteLog); err != nil {
+				fatalf("alerts export: %v", err)
+			}
+			log := mon.Log()
+			fmt.Printf("wrote alert log (%d alerts, %d rules) to %s\n",
+				len(log.Alerts), len(log.Meta.Rules), p.alertsOut)
 		}
 	}
 	if p.push != nil {
@@ -419,7 +475,8 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 			fmt.Fprintf(os.Stderr, "serve: daemon publish: %v\n", err)
 		}
 		publishDecisions(srv, sys)
-		srv.AddRun(telemetry.RunSummary{
+		publishAlerts(srv, sys)
+		evicted := srv.AddRun(telemetry.RunSummary{
 			System:     name,
 			Policy:     res.PolicyName,
 			Trace:      trace.Name,
@@ -430,7 +487,33 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 			TTFT:       telemetry.Latency{Mean: ttfts.Mean, P50: ttfts.P50, P90: ttfts.P90, P99: ttfts.P99},
 			TPOT:       telemetry.Latency{Mean: tpots.Mean, P50: tpots.P50, P90: tpots.P90, P99: tpots.P99},
 		})
+		if evicted > 0 {
+			hub.Metrics.Counter("telemetry_evictions_total",
+				"Telemetry records dropped by retention caps, by kind.",
+				[]string{"kind"}, "run").Add(float64(evicted))
+		}
 	}
+}
+
+// publishAlerts renders the run's SLO alert log plus the firing-set roll-up
+// for the daemon's /alerts and /healthz endpoints. Like PublishHub it runs
+// on the simulation goroutine.
+func publishAlerts(srv *telemetry.Server, sys *serving.System) {
+	mon := sys.SLOMonitor()
+	if mon == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := mon.WriteLog(&buf); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: alerts publish: %v\n", err)
+		return
+	}
+	feed := mon.Feed()
+	worst := ""
+	if w, ok := feed.Worst(); ok {
+		worst = w.String()
+	}
+	srv.PublishAlerts(buf.Bytes(), len(feed.Active()), worst)
 }
 
 // publishDecisions renders the run's decision ledger for the daemon's

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"heroserve/internal/faults"
+	"heroserve/internal/serving"
+	"heroserve/internal/telemetry"
+	"heroserve/internal/telemetry/slo"
+	"heroserve/internal/workload"
+)
+
+// faultBurstRules is the rule set the e2e alert tests arm: a fault-stall
+// budget tight enough that a mid-run agent-stall burst trips it, with a
+// window short enough that post-burst completions resolve it before run end.
+func faultBurstRules() []slo.Rule {
+	return []slo.Rule{{
+		Name: "fault-stall-budget", Kind: slo.KindFaultBudget, Severity: slo.SevCritical,
+		Over: 3, Threshold: 0.05, MinMass: 0.05,
+	}}
+}
+
+// runAlerted executes one monitored HeroServe run and returns the system (for
+// the monitor) and the results.
+func runAlerted(t *testing.T, sched *faults.Schedule) (*serving.System, *serving.Results) {
+	t.Helper()
+	in := inputs(t)
+	hub := telemetry.New()
+	sla := in.SLA
+	sys, _, _, err := NewSystem(in, nil, serving.Options{
+		Telemetry: hub,
+		SLA:       &sla,
+		Faults:    sched,
+		SLO:       &slo.Config{Rules: faultBurstRules()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(workload.NewGenerator(workload.Chatbot, 9).Generate(20, 2))
+	return sys, res
+}
+
+// TestAlertFiresOnFaultBurst is the acceptance e2e: inject a fault burst,
+// assert the fault-budget rule walks the full lifecycle — fires while the
+// burst's stall mass dominates the window, resolves once fault-free
+// completions flush it — and that the firing cause names fault-stall as the
+// dominant critical-path stage.
+func TestAlertFiresOnFaultBurst(t *testing.T) {
+	sched := &faults.Schedule{Events: []faults.Event{
+		{Kind: faults.AgentStall, At: 1.5, Duration: 1.5},
+	}}
+	sys, res := runAlerted(t, sched)
+
+	mon := sys.SLOMonitor()
+	if mon == nil {
+		t.Fatal("monitor not armed")
+	}
+	log := mon.Log()
+	var fired *slo.Alert
+	for i := range log.Alerts {
+		if log.Alerts[i].Rule == "fault-stall-budget" && log.Alerts[i].FiredAt >= 0 {
+			fired = &log.Alerts[i]
+			break
+		}
+	}
+	if fired == nil {
+		t.Fatalf("fault burst never fired the budget rule; log: %+v", log.Alerts)
+	}
+	if fired.State != slo.StateResolved || fired.ResolvedAt <= fired.FiredAt {
+		t.Errorf("alert did not resolve after the burst: %+v", fired)
+	}
+	if fired.Cause == nil {
+		t.Fatal("fired alert has no cause snapshot")
+	}
+	if fired.Cause.Dominant != "fault-stall" {
+		t.Errorf("cause dominant = %q, want fault-stall (stages %+v)",
+			fired.Cause.Dominant, fired.Cause.Stages)
+	}
+
+	// The Results surface carries the same story.
+	if res.Alerts == nil || res.Alerts.Fired == 0 {
+		t.Errorf("Results.Alerts missing the fired alert: %+v", res.Alerts)
+	}
+
+	// A fault-free same-seed run stays quiet under the same rules.
+	sysClean, resClean := runAlerted(t, nil)
+	if s := sysClean.SLOMonitor().Summarize(); s.Fired != 0 {
+		t.Errorf("fault-free run fired alerts: %+v", s)
+	}
+	if resClean.Alerts != nil && resClean.Alerts.Fired != 0 {
+		t.Errorf("fault-free Results.Alerts: %+v", resClean.Alerts)
+	}
+}
+
+// TestAlertLogDeterministic pins byte-determinism of the e2e alert log: two
+// identical monitored runs serialize identical bytes.
+func TestAlertLogDeterministic(t *testing.T) {
+	export := func() []byte {
+		sched := &faults.Schedule{Events: []faults.Event{
+			{Kind: faults.AgentStall, At: 1.5, Duration: 1.5},
+		}}
+		sys, _ := runAlerted(t, sched)
+		var buf bytes.Buffer
+		if err := sys.SLOMonitor().WriteLog(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Errorf("same-seed alert logs differ:\n%s\n---\n%s", a, b)
+	}
+	if len(a) == 0 {
+		t.Error("empty alert log")
+	}
+}

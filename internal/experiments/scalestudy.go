@@ -114,6 +114,51 @@ func scaleWorkloads() []scaleWorkload {
 			},
 		},
 		{
+			name: "kv-pressure",
+			sla:  serving.SLA{TTFT: 25, TPOT: 0.2},
+			// Batch slots far exceed what KV memory can hold: long-lived
+			// "anchor" contexts creep one instance's cache toward the
+			// high-water mark while occupancy idles near half the batch cap
+			// and nothing queues, so KV utilization is the only signal that
+			// moves before admission stalls. kv-headroom's 0.80 high-water
+			// acts on it pre-stall; every other law waits for the backlog
+			// the stall then causes — and the small "probe" requests
+			// stranded behind the full cache in that reaction gap wait for
+			// an anchor to finish, blowing their per-token budget.
+			maxBatch: 48,
+			mk: func(scale Scale, seed int64) *workload.Trace {
+				n2, probes := 12, 26
+				if scale == Full {
+					n2, probes = 30, 62
+				}
+				tr := &workload.Trace{Name: "kv-pressure"}
+				id := 0
+				add := func(at float64, in, out int) {
+					tr.Requests = append(tr.Requests, workload.Request{
+						ID: id, Arrival: at, Input: in, Output: out,
+					})
+					id++
+				}
+				// Phase 1: big anchors land fast, filling roughly half of
+				// one instance's KV memory.
+				for i := 0; i < 14; i++ {
+					add(1.0*float64(i), 8000+61*(i%4), 2400)
+				}
+				// Phase 2: a slow trickle creeps utilization toward the cap
+				// gently enough that the smoothed KV signal crosses the
+				// high-water mark well before admission stalls.
+				for i := 0; i < n2; i++ {
+					add(14+5.0*float64(i), 8000, 2400)
+				}
+				// Probes: small interactive requests riding through the
+				// pressure window.
+				for i := 0; i < probes; i++ {
+					add(0.5+3.0*float64(i), 512, 48)
+				}
+				return tr
+			},
+		},
+		{
 			name:     "bursty",
 			sla:      serving.SLA{TTFT: 2.5, TPOT: 0.15},
 			maxBatch: 8,
@@ -260,7 +305,11 @@ func ScaleStudyData(scale Scale, seed int64) ([]ScaleStudyRow, error) {
 			auto := &serving.AutoscaleConfig{
 				InitialActive: 1,
 				Interval:      0.5,
-				Policy:        p.mk(),
+				// A 3 s signal time-constant matches the 0.5 s control
+				// interval; the 15 s library default would lag the
+				// KV-pressure ramp past its own stall.
+				SignalWindow: 3,
+				Policy:       p.mk(),
 			}
 			if i == 0 {
 				for _, q := range policies {

@@ -16,7 +16,7 @@ func TestScaleStudyShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	workloads := []string{"chatbot", "summarization", "bursty"}
+	workloads := []string{"chatbot", "summarization", "kv-pressure", "bursty"}
 	perWorkload := 1 + len(serving.ScalePolicyNames)
 	if len(rows) != len(workloads)*perWorkload {
 		t.Fatalf("rows = %d, want %d", len(rows), len(workloads)*perWorkload)
@@ -74,6 +74,27 @@ func TestScaleStudyShape(t *testing.T) {
 		for _, row := range group[1:] {
 			if row.ShadowRank < 1 || row.ShadowRank > len(group)-1 {
 				t.Errorf("%s/%s shadow rank = %d, want 1..%d", w, row.Policy, row.ShadowRank, len(group)-1)
+			}
+		}
+		// The KV-pressure regime is built to separate the laws: long-lived
+		// anchor contexts creep one instance's cache toward its high-water
+		// mark while the batch stays half-empty and nothing queues, so only
+		// kv-headroom sees the stall coming. It must scale pre-stall and
+		// strand nothing; every other law reacts to the backlog the stall
+		// causes and pays for the probes stranded behind the full cache.
+		if w == "kv-pressure" {
+			best := group[1]
+			if best.Policy != "kv-headroom" {
+				t.Errorf("kv-pressure winner = %s, want kv-headroom (group %+v)", best.Policy, group[1:])
+			}
+			if best.ScaleEvents == 0 {
+				t.Errorf("kv-pressure winner never scaled")
+			}
+			for _, row := range group[2:] {
+				if row.Attainment >= best.Attainment {
+					t.Errorf("kv-pressure: %s attainment %.3f not strictly below kv-headroom %.3f",
+						row.Policy, row.Attainment, best.Attainment)
+				}
 			}
 		}
 		// The chatbot burst overwhelms a single instance: the winning policy

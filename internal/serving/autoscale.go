@@ -306,13 +306,16 @@ func (a *autoscaler) record(now sim.Time, sig *ScaleSignals, dec ScaleDecision, 
 			TTFT:          sig.TTFT,
 			TPOT:          sig.TPOT,
 			LatencyPrimed: sig.LatencyPrimed,
+			ActiveAlerts:  append([]string(nil), sig.ActiveAlerts...),
 		},
 	}
 	for _, sp := range a.shadows {
 		// Isolation: shadows get a value copy of the snapshot with a private
-		// SLA, so even a law that writes through sig.SLA cannot perturb the
-		// run's configuration or the primary's inputs.
+		// SLA and a private firing-set slice, so even a law that writes
+		// through sig.SLA or mutates ActiveAlerts cannot perturb the run's
+		// configuration or the primary's inputs.
 		shSig := *sig
+		shSig.ActiveAlerts = append([]string(nil), sig.ActiveAlerts...)
 		if sig.SLA != nil {
 			a.shadowSLA = *sig.SLA
 			shSig.SLA = &a.shadowSLA
@@ -413,6 +416,7 @@ func (a *autoscaler) collect(now sim.Time) ScaleSignals {
 		TPOT:          a.tpotWin.Mean(),
 		LatencyPrimed: a.ttftWin.Len() > 0,
 		SLA:           s.opts.SLA,
+		ActiveAlerts:  s.mon.Feed().ActiveNames(),
 	}
 }
 

@@ -49,6 +49,11 @@ type ScaleSignals struct {
 	LatencyPrimed bool
 	// SLA is the run's latency agreement (nil when the run has none).
 	SLA *SLA
+	// ActiveAlerts is the SLO monitor's firing set at decision time (sorted
+	// rule names; nil when no monitor is armed or nothing fires). Consumed
+	// read-only by the built-in policies today; recorded in the decision
+	// ledger so alert-aware laws can be judged before they drive the fleet.
+	ActiveAlerts []string
 }
 
 // backlogPerInstance returns the pending-request pressure normalized by the

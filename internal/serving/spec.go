@@ -19,6 +19,7 @@ import (
 	"heroserve/internal/telemetry"
 	"heroserve/internal/telemetry/critpath"
 	"heroserve/internal/telemetry/decisions"
+	"heroserve/internal/telemetry/slo"
 	"heroserve/internal/topology"
 )
 
@@ -251,6 +252,14 @@ type Options struct {
 	// SLA verdicts (sla_requests_total{verdict}) using exactly the
 	// Results.Attainment criterion.
 	SLA *SLA
+	// SLO, when non-nil alongside Telemetry, arms the deterministic alert
+	// monitor: the rule set is evaluated against the live registry on a
+	// daemon event every Config.Every sim-seconds, and the run's alert log
+	// lands in Results.Alerts (full log via SLOMonitor).
+	SLO *slo.Config
+	// LedgerCap bounds the decision ledger to the newest N records per kind
+	// (0 = unbounded); evictions bump telemetry_evictions_total{kind}.
+	LedgerCap int
 
 	// ReferenceNetsim selects the reference (global, allocating)
 	// water-filling allocator instead of the incremental fast path. Output
@@ -311,6 +320,10 @@ type Results struct {
 	// counterfactual regret, shadow-law disagreement), populated when
 	// telemetry is armed.
 	Decisions *decisions.Summary
+
+	// Alerts summarizes the run's SLO alert log (fired/resolved counts,
+	// firing-at-end roll-up), populated when Options.SLO armed a monitor.
+	Alerts *slo.Summary
 }
 
 // TTFTs returns the TTFT sample.

@@ -15,6 +15,7 @@ import (
 	"heroserve/internal/telemetry"
 	"heroserve/internal/telemetry/critpath"
 	"heroserve/internal/telemetry/decisions"
+	"heroserve/internal/telemetry/slo"
 	"heroserve/internal/topology"
 	"heroserve/internal/workload"
 )
@@ -46,6 +47,7 @@ type System struct {
 	tel           *telemetry.Hub
 	crit          *critpath.Collector
 	ledger        *decisions.Ledger
+	mon           *slo.Monitor
 	telAdmitted   *telemetry.Counter
 	telCompleted  *telemetry.Counter
 	telSLAMet     *telemetry.Counter
@@ -176,6 +178,21 @@ func (s *System) attachTelemetry(h *telemetry.Hub) {
 	// choice (collective-scheme picks via the CommPolicy, scale decisions via
 	// the autoscaler) appends its counterfactual record here.
 	s.ledger = decisions.NewLedger()
+	if s.opts.LedgerCap > 0 {
+		s.ledger.SetCap(s.opts.LedgerCap)
+		help := "Telemetry records dropped by retention caps, by kind."
+		evict := map[string]*telemetry.Counter{
+			decisions.KindCollective: h.Metrics.Counter("telemetry_evictions_total",
+				help, []string{"kind"}, decisions.KindCollective),
+			decisions.KindScale: h.Metrics.Counter("telemetry_evictions_total",
+				help, []string{"kind"}, decisions.KindScale),
+		}
+		s.ledger.SetOnEvict(func(kind string, n int) {
+			if c := evict[kind]; c != nil {
+				c.Add(float64(n))
+			}
+		})
+	}
 	// Bind the critical-path collector before Attach so its tap observes the
 	// run's process_name metadata (it needs the pid→process mapping).
 	s.crit = critpath.Bind(h)
@@ -215,7 +232,17 @@ func (s *System) attachTelemetry(h *telemetry.Hub) {
 		di.telKV = m.Gauge("decode_kv_utilization",
 			"KV-cache memory utilization (clamped at 1.5).", []string{"instance"}, name)
 	}
+	// The SLO monitor consumes the registry the layers above just armed; it
+	// registers its own alert families here so the exposition's shape is
+	// fixed before the first scrape.
+	if s.opts.SLO != nil {
+		s.mon = slo.NewMonitor(h, *s.opts.SLO)
+	}
 }
+
+// SLOMonitor returns the run's alert monitor (nil when Options.SLO is unset
+// or telemetry is off). Read its log or subscribe to its feed before Run.
+func (s *System) SLOMonitor() *slo.Monitor { return s.mon }
 
 // stageTransferCounter returns the per-stage activation hand-off counter
 // (nil handle when telemetry is off). stage is the 1-based destination
@@ -353,6 +380,21 @@ func (s *System) Run(trace *workload.Trace) *Results {
 	if s.opts.Autoscale != nil {
 		s.startAutoscaler(*s.opts.Autoscale)
 	}
+	if s.mon != nil {
+		// The monitor rides daemon events like the autoscaler: it evaluates
+		// once per interval while real work is queued and never keeps a
+		// finished run alive. Prime captures the run-start registry baseline
+		// so window deltas stay run-scoped on multi-run daemon hubs.
+		s.mon.Prime(s.eng.Now())
+		var tick func()
+		tick = func() {
+			s.mon.Step(s.eng.Now())
+			if s.eng.PendingWork() > 0 {
+				s.eng.AfterDaemon(s.mon.Interval(), tick)
+			}
+		}
+		tick()
+	}
 	s.eng.Run()
 
 	res := &Results{
@@ -385,6 +427,10 @@ func (s *System) Run(trace *workload.Trace) *Results {
 	if s.ledger != nil {
 		s.ledger.SetEnd(s.eng.Now())
 		res.Decisions = s.ledger.Summarize()
+	}
+	if s.mon != nil {
+		s.mon.Finish(s.eng.Now())
+		res.Alerts = s.mon.Summarize()
 	}
 	return res
 }

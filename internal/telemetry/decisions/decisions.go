@@ -142,6 +142,9 @@ type ScaleSignalsRec struct {
 	TTFT          float64 `json:"ttft"`
 	TPOT          float64 `json:"tpot"`
 	LatencyPrimed bool    `json:"latency_primed"`
+	// ActiveAlerts is the SLO monitor's firing set (sorted rule names) at
+	// decision time — empty until a monitor is armed.
+	ActiveAlerts []string `json:"active_alerts,omitempty"`
 }
 
 // ShadowDecision is one shadow law's verdict on the same signals.
@@ -196,11 +199,35 @@ type Ledger struct {
 	Meta       ScaleMeta          `json:"meta"`
 	Collective []CollectiveRecord `json:"collective"`
 	Scale      []ScaleRecord      `json:"scale"`
+
+	cap     int                      // per-kind retention cap; 0 = unbounded
+	onEvict func(kind string, n int) // eviction observer (registry counters)
 }
 
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
 	return &Ledger{}
+}
+
+// SetCap bounds each record slice to the newest n entries (0 = unbounded):
+// the retention story for multi-hour daemon runs. Evicting drops the oldest
+// records, so summaries computed afterwards cover only the retained tail.
+// Callers must not hold record pointers (AddScale's return) across a
+// subsequent Add — eviction shifts the slice. Nil-safe.
+func (l *Ledger) SetCap(n int) {
+	if l == nil {
+		return
+	}
+	l.cap = n
+}
+
+// SetOnEvict registers fn to observe evictions: kind is "collective" or
+// "scale", n how many records were dropped. Nil-safe.
+func (l *Ledger) SetOnEvict(fn func(kind string, n int)) {
+	if l == nil {
+		return
+	}
+	l.onEvict = fn
 }
 
 // AddCollective appends one policy-select record. Nil-safe.
@@ -209,15 +236,31 @@ func (l *Ledger) AddCollective(r CollectiveRecord) {
 		return
 	}
 	l.Collective = append(l.Collective, r)
+	if l.cap > 0 && len(l.Collective) > l.cap {
+		drop := len(l.Collective) - l.cap
+		l.Collective = append(l.Collective[:0], l.Collective[drop:]...)
+		if l.onEvict != nil {
+			l.onEvict(KindCollective, drop)
+		}
+	}
 }
 
 // AddScale appends one scale record and returns the stored copy so the
-// caller can stamp its Outcome at the next control step. Nil-safe.
+// caller can stamp its Outcome at the next control step. The pointer is
+// valid only until the next Add — under a retention cap the slice shifts.
+// Nil-safe.
 func (l *Ledger) AddScale(r ScaleRecord) *ScaleRecord {
 	if l == nil {
 		return nil
 	}
 	l.Scale = append(l.Scale, r)
+	if l.cap > 0 && len(l.Scale) > l.cap {
+		drop := len(l.Scale) - l.cap
+		l.Scale = append(l.Scale[:0], l.Scale[drop:]...)
+		if l.onEvict != nil {
+			l.onEvict(KindScale, drop)
+		}
+	}
 	return &l.Scale[len(l.Scale)-1]
 }
 

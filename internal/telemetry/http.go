@@ -46,17 +46,24 @@ type RunSummary struct {
 // snapshot under a read lock. Scrapers therefore observe a consistent,
 // slightly stale view and can never race the event loop.
 type Server struct {
-	mu        sync.RWMutex
-	simTime   float64
-	published int
-	prom      []byte
-	om        []byte // OpenMetrics rendering of the same snapshot
-	trace     []byte
-	traceFile string
-	runs      []RunSummary
-	snaps     [][]byte // per-run metric snapshots (index parallels runs), for /runs/diff
-	decs      []byte   // latest published decision ledger (JSON), for /decisions
-	decSnaps  [][]byte // per-run decision-ledger snapshots (index parallels runs)
+	mu         sync.RWMutex
+	simTime    float64
+	published  int
+	prom       []byte
+	om         []byte // OpenMetrics rendering of the same snapshot
+	trace      []byte
+	traceFile  string
+	runs       []RunSummary
+	snaps      [][]byte // per-run metric snapshots (index parallels runs), for /runs/diff
+	decs       []byte   // latest published decision ledger (JSON), for /decisions
+	decSnaps   [][]byte // per-run decision-ledger snapshots (index parallels runs)
+	alerts     []byte   // latest published alert log (JSON), for /alerts
+	alertSnaps [][]byte // per-run alert-log snapshots (index parallels runs)
+	firing     int      // firing alerts in the latest published log
+	worstSev   string   // worst firing severity, "" when none
+	maxRuns    int      // run-history retention cap (0 = unbounded)
+	runBase    int      // completed runs evicted from the front of the history
+	handlers   map[string]http.Handler
 }
 
 // NewServer returns an empty Server; install it as an http.Handler.
@@ -94,17 +101,55 @@ func (s *Server) PublishHub(h *Hub) error {
 	return nil
 }
 
+// SetMaxRuns bounds the run history: once more than n completed runs are
+// held, AddRun evicts the oldest run (summary plus its metric, decision, and
+// alert snapshots). Run IDs stay stable across evictions — /runs/diff and
+// the per-run snapshot filters keep addressing surviving runs by their
+// original IDs. n <= 0 means unbounded (the default).
+func (s *Server) SetMaxRuns(n int) {
+	s.mu.Lock()
+	s.maxRuns = n
+	s.mu.Unlock()
+}
+
 // AddRun records a completed run for /runs, assigning it the next sequential
 // ID, and captures the latest published metric snapshot as the run's state
 // for /runs/diff — so callers should PublishHub first, then AddRun. Safe to
-// call from the goroutine driving the runs.
-func (s *Server) AddRun(r RunSummary) {
+// call from the goroutine driving the runs. Returns how many old runs the
+// retention cap evicted (0 without SetMaxRuns).
+func (s *Server) AddRun(r RunSummary) (evicted int) {
 	s.mu.Lock()
-	r.ID = len(s.runs) + 1
+	r.ID = s.runBase + len(s.runs) + 1
 	s.runs = append(s.runs, r)
 	s.snaps = append(s.snaps, s.prom)
 	s.decSnaps = append(s.decSnaps, s.decs)
+	s.alertSnaps = append(s.alertSnaps, s.alerts)
+	for s.maxRuns > 0 && len(s.runs) > s.maxRuns {
+		s.runs = s.runs[1:]
+		s.snaps = s.snaps[1:]
+		s.decSnaps = s.decSnaps[1:]
+		s.alertSnaps = s.alertSnaps[1:]
+		s.runBase++
+		evicted++
+	}
 	s.mu.Unlock()
+	return evicted
+}
+
+// runSnapshot resolves a run ID against the retained history under the
+// caller's lock: index into the parallel snapshot slices, or ok=false when
+// the ID was never assigned or has been evicted.
+func (s *Server) runSnapshot(id int) (idx int, ok bool) {
+	idx = id - 1 - s.runBase
+	return idx, id >= 1 && idx >= 0 && idx < len(s.runs)
+}
+
+// runRangeError describes the retained run-ID window for 404 messages.
+func (s *Server) runRangeError() string {
+	if len(s.runs) == 0 {
+		return "no completed runs retained"
+	}
+	return fmt.Sprintf("run out of range: have runs %d..%d", s.runBase+1, s.runBase+len(s.runs))
 }
 
 // SetTraceFile records the path the trace is being streamed to, so /trace
@@ -113,6 +158,19 @@ func (s *Server) AddRun(r RunSummary) {
 func (s *Server) SetTraceFile(path string) {
 	s.mu.Lock()
 	s.traceFile = path
+	s.mu.Unlock()
+}
+
+// Handle registers a custom route consulted before the 404 fallback —
+// how packages layered above telemetry (e.g. internal/telemetry/slo's
+// /alerts handler) extend the daemon without an import cycle. Register
+// before serving; built-in routes cannot be overridden.
+func (s *Server) Handle(path string, h http.Handler) {
+	s.mu.Lock()
+	if s.handlers == nil {
+		s.handlers = make(map[string]http.Handler)
+	}
+	s.handlers[path] = h
 	s.mu.Unlock()
 }
 
@@ -132,6 +190,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/trace":
 		s.serveTrace(w)
 	default:
+		s.mu.RLock()
+		h := s.handlers[r.URL.Path]
+		s.mu.RUnlock()
+		if h != nil {
+			h.ServeHTTP(w, r)
+			return
+		}
 		http.NotFound(w, r)
 	}
 }
@@ -153,14 +218,27 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// serveHealthz reports liveness plus the SLO roll-up: how many alerts are
+// firing in the latest published alert log and the worst firing severity.
+// Status degrades from "ok" to "degraded" while anything is firing.
 func (s *Server) serveHealthz(w http.ResponseWriter) {
 	s.mu.RLock()
+	status, worst := "ok", s.worstSev
+	if s.firing > 0 {
+		status = "degraded"
+	}
+	if worst == "" {
+		worst = "none"
+	}
 	resp := struct {
 		Status    string  `json:"status"`
 		SimTime   float64 `json:"sim_time"`
 		Published int     `json:"published"`
 		Runs      int     `json:"runs"`
-	}{"ok", s.simTime, s.published, len(s.runs)}
+		Evicted   int     `json:"evicted_runs"`
+		Firing    int     `json:"alerts_firing"`
+		Worst     string  `json:"worst_alert_severity"`
+	}{status, s.simTime, s.published, len(s.runs), s.runBase, s.firing, worst}
 	s.mu.RUnlock()
 	writeJSON(w, resp)
 }
@@ -230,17 +308,19 @@ func (s *Server) serveRunsDiff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	n := len(s.snaps)
+	idxA, okA := s.runSnapshot(a)
+	idxB, okB := s.runSnapshot(b)
 	var snapA, snapB []byte
-	if a >= 1 && a <= n {
-		snapA = s.snaps[a-1]
+	if okA {
+		snapA = s.snaps[idxA]
 	}
-	if b >= 1 && b <= n {
-		snapB = s.snaps[b-1]
+	if okB {
+		snapB = s.snaps[idxB]
 	}
+	rangeMsg := s.runRangeError()
 	s.mu.RUnlock()
-	if (a < 1 || a > n) || (b < 1 || b > n) {
-		http.Error(w, fmt.Sprintf("run out of range: have %d runs", n), http.StatusNotFound)
+	if !okA || !okB {
+		writeJSONError(w, http.StatusNotFound, rangeMsg)
 		return
 	}
 	sa, sb := parseSeries(snapA), parseSeries(snapB)
@@ -297,8 +377,20 @@ func parseSeries(snapshot []byte) map[string]float64 {
 	return out
 }
 
+// jsonContentType is the stable content type every JSON endpoint sets —
+// including the explicit charset some scrape clients require.
+const jsonContentType = "application/json; charset=utf-8"
+
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", jsonContentType)
 	enc := json.NewEncoder(w)
 	enc.Encode(v)
+}
+
+// writeJSONError writes an error as an explicit JSON body ({"error": msg})
+// so API clients of the JSON endpoints never have to sniff text/plain.
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", jsonContentType)
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

@@ -1,0 +1,32 @@
+package telemetry
+
+// PublishAlerts stores the serialized SLO alert log (the output of
+// slo.Monitor.WriteLog) as the daemon's current /alerts snapshot, together
+// with the firing-set roll-up /healthz reports: how many alerts are firing
+// and the worst firing severity ("" when none). Like PublishHub it MUST be
+// called from the simulation goroutine at a safe point.
+func (s *Server) PublishAlerts(doc []byte, firing int, worst string) {
+	s.mu.Lock()
+	s.alerts = doc
+	s.firing = firing
+	s.worstSev = worst
+	s.mu.Unlock()
+}
+
+// AlertsDoc returns the alert log the /alerts handler should serve: the
+// latest published log for run == 0, or the snapshot captured at AddRun for
+// a specific run ID. ok is false when the run ID is outside the retained
+// history; rangeMsg then describes the retained window. The returned bytes
+// are immutable.
+func (s *Server) AlertsDoc(run int) (doc []byte, ok bool, rangeMsg string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if run == 0 {
+		return s.alerts, true, ""
+	}
+	idx, okRun := s.runSnapshot(run)
+	if !okRun {
+		return nil, false, s.runRangeError()
+	}
+	return s.alertSnaps[idx], true, ""
+}

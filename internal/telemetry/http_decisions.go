@@ -30,53 +30,57 @@ func (s *Server) serveDecisions(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	s.mu.RLock()
 	doc := s.decs
-	n := len(s.decSnaps)
 	if runStr := q.Get("run"); runStr != "" {
 		id, err := strconv.Atoi(runStr)
-		if err != nil || id < 1 || id > n {
+		idx, ok := 0, false
+		if err == nil {
+			idx, ok = s.runSnapshot(id)
+		}
+		if !ok {
+			msg := s.runRangeError()
 			s.mu.RUnlock()
-			http.Error(w, "bad run id: have "+strconv.Itoa(n)+" runs", http.StatusNotFound)
+			writeJSONError(w, http.StatusNotFound, msg)
 			return
 		}
-		doc = s.decSnaps[id-1]
+		doc = s.decSnaps[idx]
 	}
 	s.mu.RUnlock()
 	if len(doc) == 0 {
-		http.Error(w, "no decision ledger published yet", http.StatusNotFound)
+		writeJSONError(w, http.StatusNotFound, "no decision ledger published yet")
 		return
 	}
 	kind := q.Get("kind")
 	policy := q.Get("policy")
 	fromStr, toStr := q.Get("from"), q.Get("to")
 	if kind == "" && policy == "" && fromStr == "" && toStr == "" {
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", jsonContentType)
 		w.Write(doc)
 		return
 	}
 	if kind != "" && kind != decisions.KindCollective && kind != decisions.KindScale {
-		http.Error(w, "bad kind: want collective or scale", http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "bad kind: want collective or scale")
 		return
 	}
 	var from, to float64
 	var err error
 	if fromStr != "" {
 		if from, err = strconv.ParseFloat(fromStr, 64); err != nil {
-			http.Error(w, "bad from", http.StatusBadRequest)
+			writeJSONError(w, http.StatusBadRequest, "bad from")
 			return
 		}
 	}
 	if toStr != "" {
 		if to, err = strconv.ParseFloat(toStr, 64); err != nil {
-			http.Error(w, "bad to", http.StatusBadRequest)
+			writeJSONError(w, http.StatusBadRequest, "bad to")
 			return
 		}
 	}
 	led, err := decisions.ReadJSON(bytes.NewReader(doc))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", jsonContentType)
 	led.Filter(kind, policy, from, to).WriteJSON(w)
 }
 

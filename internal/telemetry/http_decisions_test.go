@@ -58,7 +58,7 @@ func TestServerDecisions(t *testing.T) {
 	if !bytes.Equal(body, doc) {
 		t.Error("unfiltered /decisions did not serve the published bytes verbatim")
 	}
-	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
 		t.Errorf("content type %q", ct)
 	}
 

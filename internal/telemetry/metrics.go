@@ -206,6 +206,60 @@ func (r *Registry) HistogramCount(name string, values ...string) (uint64, bool) 
 	return c.hist.n, true
 }
 
+// HistogramOver returns the number of observations above the effective bound:
+// the largest bucket upper bound <= bound. With fixed buckets the true count
+// above an arbitrary bound is not recoverable, so the effective bound is the
+// pessimistic (tightest not-exceeding) choice; when bound undercuts every
+// bucket the smallest bucket is used. used reports the bound actually applied
+// so callers can surface the approximation.
+func (r *Registry) HistogramOver(name string, bound float64, values ...string) (over uint64, used float64, ok bool) {
+	if r == nil {
+		return 0, 0, false
+	}
+	f, okf := r.fams[name]
+	if !okf {
+		return 0, 0, false
+	}
+	c, okc := f.childs[strings.Join(values, labelSep)]
+	if !okc || c.hist == nil || len(c.hist.upper) == 0 {
+		return 0, 0, false
+	}
+	h := c.hist
+	idx := 0
+	for i, ub := range h.upper {
+		if ub > bound {
+			break
+		}
+		idx = i
+	}
+	var cum uint64
+	for i := 0; i <= idx; i++ {
+		cum += h.counts[i]
+	}
+	return h.n - cum, h.upper[idx], true
+}
+
+// Children returns the label-value sets of a family's children, sorted the
+// way the exposition sorts them, so callers can deterministically enumerate
+// dynamic children (e.g. per-instance gauges). Nil registry or unknown family
+// returns nil.
+func (r *Registry) Children(name string) [][]string {
+	if r == nil {
+		return nil
+	}
+	f, ok := r.fams[name]
+	if !ok {
+		return nil
+	}
+	keys := append([]string(nil), f.order...)
+	sort.Strings(keys)
+	out := make([][]string, 0, len(keys))
+	for _, key := range keys {
+		out = append(out, append([]string(nil), f.childs[key].values...))
+	}
+	return out
+}
+
 // Counter is a monotonically nondecreasing sum. The nil handle is a no-op.
 type Counter struct{ v float64 }
 

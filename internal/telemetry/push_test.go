@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // pushTarget is a scripted pushgateway: it records every request and answers
@@ -144,6 +145,70 @@ func TestPusherURLLayout(t *testing.T) {
 	}
 	if _, err := NewPusher("http://\x00bad", "j", nil); err == nil {
 		t.Error("unparsable URL accepted")
+	}
+}
+
+// TestPusherServerFlapping drives a gateway that alternates 5xx and 2xx per
+// request while the pusher has no retries: snapshots alternate between
+// dropped and delivered, Failures only ever grows, and delivered bodies
+// arrive in offer order — a flapping endpoint corrupts nothing and never
+// wedges the pusher.
+func TestPusherServerFlapping(t *testing.T) {
+	target := &pushTarget{}
+	n := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		target.mu.Lock()
+		n++
+		odd := n%2 == 1
+		target.mu.Unlock()
+		if odd {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		target.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	p, err := NewPusher(ts.URL, "j", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetRetry(1, 0)
+
+	settled := func(want int64) {
+		t.Helper()
+		for i := 0; i < 2000; i++ {
+			if p.Pushed()+p.Failures() >= want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("push %d never settled (pushed %d, failures %d)", want, p.Pushed(), p.Failures())
+	}
+	var lastFailures int64
+	for i, body := range []string{"a 1\n", "b 1\n", "c 1\n", "d 1\n"} {
+		if !p.Offer([]byte(body)) {
+			t.Fatalf("offer %d refused", i)
+		}
+		settled(int64(i + 1))
+		if f := p.Failures(); f < lastFailures {
+			t.Fatalf("failures went backwards: %d -> %d", lastFailures, f)
+		} else {
+			lastFailures = f
+		}
+	}
+	p.Close()
+
+	// Requests 1 and 3 hit the 5xx half of the flap; 2 and 4 the 2xx half.
+	if p.Pushed() != 2 || p.Failures() != 2 {
+		t.Errorf("pushed/failures = %d/%d, want 2/2", p.Pushed(), p.Failures())
+	}
+	target.mu.Lock()
+	defer target.mu.Unlock()
+	if len(target.bodies) != 2 || target.bodies[0] != "b 1\n" || target.bodies[1] != "d 1\n" {
+		t.Errorf("delivered bodies %q, want the 2xx-half snapshots in offer order", target.bodies)
 	}
 }
 

@@ -67,6 +67,20 @@ grep -q 'shadow ranking' "$ART/decisions.txt"
 grep -q '^execution regret 0s total' "$ART/decisions.txt"
 go run ./cmd/decisionstat -diff "$ART/decisions.json" "$ART/decisions.json" | grep -q 'collective .* (+0)'
 
+# SLO-alert smoke: an overdriven run must fire an alert that walks the full
+# lifecycle (pending -> FIRING -> resolved) with a cause snapshot, alertstat
+# must render the timeline and roll-up, and a self-diff must be zero deltas.
+echo "== slo-alert smoke"
+go run ./cmd/tracegen -kind chatbot -n 80 -rate 12 -seed 7 > "$ART/burst.json"
+go run ./cmd/serve -trace "$ART/burst.json" -system heroserve -topology testbed \
+	-model opt-13b -seed 7 -alerts-out "$ART/alerts.json" > /dev/null
+go run ./cmd/alertstat "$ART/alerts.json" > "$ART/alerts.txt"
+grep -q 'FIRING' "$ART/alerts.txt"
+grep -q 'resolved' "$ART/alerts.txt"
+grep -q 'dominant' "$ART/alerts.txt"
+go run ./cmd/alertstat -summary "$ART/alerts.json" | grep -q '1 fired / 1 resolved'
+go run ./cmd/alertstat -diff "$ART/alerts.json" "$ART/alerts.json" | grep -q 'fired 1 -> 1 (+0)'
+
 # Scaling-study smoke: the ext-scale scoreboard must run end to end in both
 # machine formats. The CSV must carry the static reference plus every policy;
 # the JSON must parse. (Registry-vs-Results agreement is asserted inside the

@@ -31,6 +31,11 @@
 # per-scheme counterfactual regret totals and the scale laws' shadow verdict
 # matrix. Under refcheck the reference simulator paths must reproduce the
 # SAME decision ledgers — counterfactual costs included — bit for bit.
+#
+# Each case finally pins the SLO alert log ($name.alerts.tsv, rendered by
+# alertstat -tsv from the run's -alerts-out export): every alert's lifecycle
+# stamps and the per-rule roll-up. Refcheck identity applies here too — the
+# reference paths must fire and resolve the SAME alerts at the SAME sim-times.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,6 +59,7 @@ mkdir -p "$BIN"
 go build -o "$BIN/tracegen" ./cmd/tracegen
 go build -o "$BIN/serve" ./cmd/serve
 go build -o "$BIN/decisionstat" ./cmd/decisionstat
+go build -o "$BIN/alertstat" ./cmd/alertstat
 
 HAVE_JQ=1
 if ! command -v jq > /dev/null; then
@@ -87,9 +93,11 @@ produce() {
 	"$BIN/serve" -trace "$OUT_DIR/$name.trace.json" $sv $EXTRA_SV \
 		-metrics-out "$OUT_DIR/$name.raw.prom" \
 		-trace-out "$OUT_DIR/$name.spans.json" \
-		-decisions-out "$OUT_DIR/$name.decisions.json" > /dev/null
+		-decisions-out "$OUT_DIR/$name.decisions.json" \
+		-alerts-out "$OUT_DIR/$name.alerts.json" > /dev/null
 	LC_ALL=C sort "$OUT_DIR/$name.raw.prom" > "$OUT_DIR/$name.prom"
 	"$BIN/decisionstat" -tsv "$OUT_DIR/$name.decisions.json" > "$OUT_DIR/$name.decisions.tsv"
+	"$BIN/alertstat" -tsv "$OUT_DIR/$name.alerts.json" > "$OUT_DIR/$name.alerts.tsv"
 	if [[ $HAVE_JQ -eq 1 ]]; then
 		{
 			for q in queue allreduce stages; do
@@ -129,6 +137,8 @@ while IFS='|' read -r name tg sv; do
 		echo "golden: wrote $GOLDEN_DIR/$name.prom"
 		cp "$OUT_DIR/$name.decisions.tsv" "$GOLDEN_DIR/$name.decisions.tsv"
 		echo "golden: wrote $GOLDEN_DIR/$name.decisions.tsv"
+		cp "$OUT_DIR/$name.alerts.tsv" "$GOLDEN_DIR/$name.alerts.tsv"
+		echo "golden: wrote $GOLDEN_DIR/$name.alerts.tsv"
 		if [[ $HAVE_JQ -eq 1 ]]; then
 			cp "$OUT_DIR/$name.trace.tsv" "$GOLDEN_DIR/$name.trace.tsv"
 			echo "golden: wrote $GOLDEN_DIR/$name.trace.tsv"
@@ -137,6 +147,7 @@ while IFS='|' read -r name tg sv; do
 	fi
 	compare "$name" prom || status=1
 	compare "$name" decisions.tsv || status=1
+	compare "$name" alerts.tsv || status=1
 	if [[ $HAVE_JQ -eq 1 ]]; then
 		compare "$name" trace.tsv || status=1
 	fi
