@@ -67,7 +67,7 @@ func main() {
 	minTens := flag.Int("min-tens-decode", 0, "decode tensor-parallel floor (cross-server regime)")
 	elephants := flag.Int("elephants", 0, "background elephant-flow lanes")
 	autoscale := flag.Bool("autoscale", false, "enable decode-instance autoscaling")
-	scalePolicy := flag.String("scale-policy", "backlog", "autoscaler policy: backlog | occupancy | kv-headroom | hybrid-slo")
+	scalePolicy := flag.String("scale-policy", "backlog", "autoscaler policy: backlog | occupancy | kv-headroom | hybrid-slo | alert-aware | adaptive")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	traceOut := flag.String("trace-out", "", "stream Chrome trace-event JSON (Perfetto-loadable) here")
 	metricsOut := flag.String("metrics-out", "", "write text-format metrics here")

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"heroserve/internal/collective"
 	"heroserve/internal/faults"
@@ -16,6 +17,7 @@ import (
 	"heroserve/internal/scheduler"
 	"heroserve/internal/serving"
 	"heroserve/internal/telemetry"
+	"heroserve/internal/telemetry/critpath"
 	"heroserve/internal/telemetry/decisions"
 	"heroserve/internal/topology"
 )
@@ -29,6 +31,23 @@ const ControllerInterval = 0.05
 // pair per group — and avoids flapping onto far aggregation points whose
 // longer paths the utilization-ratio cost J cannot see.
 const maxSwitchCandidates = 1
+
+// Stage-share feedback (the observe→act loop on the collective side): when
+// the critical-path attribution says one stage dominates recent TTFT, the
+// online policy nudges — not overrides — the Eq. 16 comparison.
+const (
+	// stageBiasShare is the minimum dominant TTFT share before any bias
+	// applies; below it the attribution is too mixed to act on.
+	stageBiasShare = 0.5
+	// stageINADiscount multiplies the J of INA candidates when an
+	// allreduce-<scheme> stage dominates TTFT: communication is the
+	// bottleneck, so lean toward in-network aggregation.
+	stageINADiscount = 0.85
+	// stageHoldDiscount multiplies the J of the group's previous pick when
+	// the queue stage dominates: the bottleneck is upstream of the
+	// collective, so hold scheme churn and let the autoscaler act.
+	stageHoldDiscount = 0.9
+)
 
 // OnlinePolicy is HeroServe's communication policy: per tensor-parallel
 // group it lazily builds a policy cost table (ring, Ethernet INA, and
@@ -52,14 +71,23 @@ type OnlinePolicy struct {
 	// executed rows, and the execution regret. Set by core.NewSystem from
 	// the serving system's decision ledger.
 	Ledger *decisions.Ledger
+	// Shares, when non-nil, is the live TTFT stage-share tracker fed by the
+	// critical-path analyzer. When a stage dominates recent attribution the
+	// policy biases the Eq. 16 comparison (see stageBias). Set by
+	// core.NewSystem when telemetry is armed; nil-safe.
+	Shares *critpath.ShareTracker
+	// lastPick remembers each group's previous chosen table row so the
+	// queue-dominant churn hold knows which candidate to favor.
+	lastPick map[serving.GroupID]int
 }
 
 // NewOnlinePolicy returns the policy with the given scheduler config.
 func NewOnlinePolicy(cfg scheduler.Config) *OnlinePolicy {
 	return &OnlinePolicy{
-		cfg:    cfg,
-		tables: make(map[serving.GroupID]*scheduler.Table),
-		Hetero: true,
+		cfg:      cfg,
+		tables:   make(map[serving.GroupID]*scheduler.Table),
+		Hetero:   true,
+		lastPick: make(map[serving.GroupID]int),
 	}
 }
 
@@ -120,11 +148,23 @@ func (p *OnlinePolicy) table(ctx *serving.GroupCtx, msgBytes int64) *scheduler.T
 // AllReduce implements serving.CommPolicy.
 func (p *OnlinePolicy) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps int, done func()) {
 	t := p.table(ctx, msgBytes)
-	idx := t.Select(msgBytes * int64(steps))
+	bias, stageSignal := p.stageBias(ctx, t)
+	idx, swayed := t.SelectBiased(msgBytes*int64(steps), bias)
+	p.lastPick[ctx.ID] = idx
 	pol := t.Policies[idx]
 	sw := pol.Switch
 	scheme := pol.Scheme
 	reason := "table"
+	if swayed {
+		// The stage bias changed the argmin's winner; name the feedback that
+		// did it. The biased J vector is what the ledger records, so the
+		// Best==Chosen invariant (zero execution regret) still holds.
+		if strings.HasPrefix(stageSignal, critpath.StageAllReduce("")) {
+			reason = "stage-ina"
+		} else {
+			reason = "stage-hold"
+		}
+	}
 	exec := idx
 	if scheme.UsesINA() && (sw < 0 || !p.policyAlive(ctx.Comm, &pol)) {
 		// Local data-plane guard: the GPU agent observes its own timeouts
@@ -136,8 +176,50 @@ func (p *OnlinePolicy) AllReduce(ctx *serving.GroupCtx, msgBytes int64, steps in
 		reason = "guard-fallback"
 		exec = ringIndex(t, idx)
 	}
-	p.audit(ctx, t, idx, exec, scheme, reason, msgBytes, steps)
+	p.audit(ctx, t, idx, exec, scheme, reason, stageSignal, msgBytes, steps)
 	ctx.Comm.AllReduceTagged(scheme, ctx.Group, sw, msgBytes, steps, ctx.Reqs, done)
+}
+
+// stageBias translates the dominant TTFT stage into a multiplicative bias
+// over the group's candidate J values, or nil when attribution is absent,
+// mixed, or names a stage the collective policy cannot act on. An
+// allreduce-<scheme> dominant discounts every INA candidate; a queue
+// dominant discounts the group's previous pick (churn hold — the fix
+// belongs to the autoscaler, which sees the same dominant via its signals).
+func (p *OnlinePolicy) stageBias(ctx *serving.GroupCtx, t *scheduler.Table) ([]float64, string) {
+	dom, share := p.Shares.Dominant()
+	if dom == "" || share < stageBiasShare {
+		return nil, ""
+	}
+	switch {
+	case strings.HasPrefix(dom, critpath.StageAllReduce("")):
+		bias := make([]float64, len(t.Policies))
+		any := false
+		for i := range t.Policies {
+			if t.Policies[i].Scheme.UsesINA() {
+				bias[i] = stageINADiscount
+				any = true
+			} else {
+				bias[i] = 1
+			}
+		}
+		if !any {
+			return nil, ""
+		}
+		return bias, dom
+	case dom == critpath.StageQueue:
+		last, ok := p.lastPick[ctx.ID]
+		if !ok || last < 0 || last >= len(t.Policies) {
+			return nil, ""
+		}
+		bias := make([]float64, len(t.Policies))
+		for i := range bias {
+			bias[i] = 1
+		}
+		bias[last] = stageHoldDiscount
+		return bias, dom
+	}
+	return nil, ""
 }
 
 // ringIndex locates the table row the guard fallback executes (the ring
@@ -160,11 +242,11 @@ func ringIndex(t *scheduler.Table, chosen int) int {
 // scheme, and the cost-table snapshot (the paper's Fig. 5 state at decision
 // time). chosen/exec index the table's policies; they differ only under
 // guard fallback.
-func (p *OnlinePolicy) audit(ctx *serving.GroupCtx, t *scheduler.Table, chosen, exec int, scheme collective.Scheme, reason string, msgBytes int64, steps int) {
+func (p *OnlinePolicy) audit(ctx *serving.GroupCtx, t *scheduler.Table, chosen, exec int, scheme collective.Scheme, reason, stageSignal string, msgBytes int64, steps int) {
 	tel := ctx.Comm.Telemetry()
 	pol := &t.Policies[chosen]
 	if p.Ledger != nil || tel != nil {
-		p.ledger(ctx, t, chosen, exec, scheme, reason, msgBytes, steps, tel)
+		p.ledger(ctx, t, chosen, exec, scheme, reason, stageSignal, msgBytes, steps, tel)
 	}
 	if tel == nil {
 		return
@@ -198,7 +280,7 @@ func (p *OnlinePolicy) audit(ctx *serving.GroupCtx, t *scheduler.Table, chosen, 
 // expressed in estimated bottleneck busy-seconds (J x T_u); the per-scheme
 // counters accumulate each scheme's cheapest candidate against the overall
 // optimum, i.e. the cost of always forcing that scheme.
-func (p *OnlinePolicy) ledger(ctx *serving.GroupCtx, t *scheduler.Table, chosen, exec int, scheme collective.Scheme, reason string, msgBytes int64, steps int, tel *telemetry.Hub) {
+func (p *OnlinePolicy) ledger(ctx *serving.GroupCtx, t *scheduler.Table, chosen, exec int, scheme collective.Scheme, reason, stageSignal string, msgBytes int64, steps int, tel *telemetry.Hub) {
 	eval := t.LastEval()
 	if eval == nil {
 		return
@@ -225,19 +307,20 @@ func (p *OnlinePolicy) ledger(ctx *serving.GroupCtx, t *scheduler.Table, chosen,
 	}
 	if p.Ledger != nil {
 		p.Ledger.AddCollective(decisions.CollectiveRecord{
-			T:          ctx.Comm.Network().Engine().Now(),
-			Group:      fmt.Sprintf("%s/%d/%d", ctx.ID.Role, ctx.ID.Instance, ctx.ID.Stage),
-			Bytes:      msgBytes * int64(steps),
-			Steps:      steps,
-			Candidates: cands,
-			Chosen:     chosen,
-			Best:       best,
-			Executed:   exec,
-			Scheme:     scheme.String(),
-			Reason:     reason,
-			Actual:     decisions.Float(actual),
-			Regret:     decisions.Float(regret),
-			Stalled:    p.ctl.Stalled(),
+			T:           ctx.Comm.Network().Engine().Now(),
+			Group:       fmt.Sprintf("%s/%d/%d", ctx.ID.Role, ctx.ID.Instance, ctx.ID.Stage),
+			Bytes:       msgBytes * int64(steps),
+			Steps:       steps,
+			Candidates:  cands,
+			Chosen:      chosen,
+			Best:        best,
+			Executed:    exec,
+			Scheme:      scheme.String(),
+			Reason:      reason,
+			StageSignal: stageSignal,
+			Actual:      decisions.Float(actual),
+			Regret:      decisions.Float(regret),
+			Stalled:     p.ctl.Stalled(),
 		})
 	}
 	if tel == nil {
@@ -326,6 +409,7 @@ func NewSystem(in planner.Inputs, plan *planner.Plan, opts serving.Options) (*se
 	}
 	pol.Injector = sys.FaultInjector()
 	pol.Ledger = sys.DecisionLedger()
+	pol.Shares = sys.StageShares()
 	return sys, plan, pol, nil
 }
 

@@ -5,10 +5,12 @@ import (
 	"sort"
 
 	"heroserve/internal/collective"
+	"heroserve/internal/faults"
 	"heroserve/internal/model"
 	"heroserve/internal/serving"
 	"heroserve/internal/telemetry"
 	"heroserve/internal/telemetry/decisions"
+	"heroserve/internal/telemetry/slo"
 	"heroserve/internal/topology"
 	"heroserve/internal/workload"
 )
@@ -55,13 +57,46 @@ type ScaleStudyRow struct {
 type scaleWorkload struct {
 	name     string
 	sla      serving.SLA
-	maxBatch int // per-instance decode batch cap for the regime
+	maxBatch int              // per-instance decode batch cap for the regime
+	faults   *faults.Schedule // optional fault injection armed on every run
 	mk       func(scale Scale, seed int64) *workload.Trace
 }
 
+// scaleStudyRules is the study's SLO rule set, tuned for its sim-scale
+// regimes so the alert-consuming laws have a live feed to act on: the
+// kv-saturation threshold sits below kv-headroom's smoothed 0.80 high-water
+// (the raw gauge crosses earlier than the smoothed signal), the fault budget
+// trips on the first completions carrying stall mass, and the burn/queue
+// rules catch a burst within a couple of control intervals.
+func scaleStudyRules(sla serving.SLA) []slo.Rule {
+	rules := []slo.Rule{
+		{
+			Name: "kv-saturation", Kind: slo.KindKVSaturation, Severity: slo.SevWarning,
+			Threshold: 0.72,
+		},
+		{
+			Name: "queue-growth", Kind: slo.KindQueueGrowth, Severity: slo.SevWarning,
+			Over: 5, Threshold: 1, MinMass: 8, For: 1,
+		},
+		{
+			Name: "fault-stall-budget", Kind: slo.KindFaultBudget, Severity: slo.SevCritical,
+			Over: 6, Threshold: 0.05, MinMass: 0.2,
+		},
+	}
+	if sla.TTFT > 0 {
+		rules = append(rules, slo.Rule{
+			Name: "ttft-burn", Kind: slo.KindBurnRate, Severity: slo.SevCritical,
+			Objective: slo.ObjTTFT, Bound: sla.TTFT, Target: 0.9,
+			Fast: slo.BurnWindow{Seconds: 5, Burn: 6}, Slow: slo.BurnWindow{Seconds: 20, Burn: 3},
+		})
+	}
+	return rules
+}
+
 // scaleWorkloads builds the study's workload set: a hard chatbot burst with
-// a quiet tail, a steady long-context summarization stream, and an on/off
-// bursty arrival train.
+// a quiet tail, a steady long-context summarization stream, a KV-memory
+// creep, an on/off bursty arrival train, and a fault stall preceding a dense
+// burst.
 func scaleWorkloads() []scaleWorkload {
 	return []scaleWorkload{
 		{
@@ -185,6 +220,54 @@ func scaleWorkloads() []scaleWorkload {
 				return tr
 			},
 		},
+		{
+			name:     "fault-burst",
+			sla:      serving.SLA{TTFT: 2.5, TPOT: 0.15},
+			maxBatch: 8,
+			// A GPU-agent stall freezes policy-table sync over [8, 18) — right
+			// before the dense burst lands. Requests decoding through the stall
+			// window carry fault-stall mass on their critical path, so the
+			// fault-stall-budget alert fires while the load signals are still
+			// calm: an alert-consuming law pre-activates a reserve ahead of
+			// the burst, while the static laws wait for the backlog it causes.
+			faults: &faults.Schedule{Events: []faults.Event{
+				{Kind: faults.AgentStall, At: 8, Duration: 10},
+			}},
+			mk: func(scale Scale, seed int64) *workload.Trace {
+				steady, burst := 20, 60
+				if scale == Full {
+					steady, burst = 50, 150
+				}
+				gen := workload.NewGenerator(workload.Chatbot, seed).Generate(steady+burst, 20)
+				tr := &workload.Trace{Name: "fault-burst"}
+				for i, r := range gen.Requests {
+					if i < steady {
+						// A light trickle keeps one instance comfortably
+						// ahead while its completions flow through the stall
+						// window and accrue fault-stall critical-path mass.
+						r.Arrival = 0.8 * float64(i)
+					} else {
+						// The burst: a chatbot mix compressed to ~60 req/s,
+						// landing just after the stall ends. Small-output
+						// requests stranded behind long decodes blow their
+						// per-token budget within a couple of seconds — less
+						// than a load-signal law's detect-and-activate gap —
+						// so only a fleet scaled out *before* the burst (on
+						// the fault alert) serves the early waves in time.
+						r.Arrival = 19 + (1.0/60.0)*float64(i-steady)
+					}
+					tr.Requests = append(tr.Requests, r)
+				}
+				// Quiet-tail stragglers exercise scale-in afterwards.
+				n := steady + burst
+				for i := 0; i < 3; i++ {
+					tr.Requests = append(tr.Requests, workload.Request{
+						ID: n + i, Arrival: 80 + 15*float64(i), Input: 200, Output: 60,
+					})
+				}
+				return tr
+			},
+		},
 	}
 }
 
@@ -223,6 +306,11 @@ func runScaleCase(w scaleWorkload, policy string, auto *serving.AutoscaleConfig,
 		Autoscale:      auto,
 		Telemetry:      hub,
 		SLA:            &sla,
+		// The SLO monitor runs on every case — including static-full — so
+		// alert-consuming laws compete on the same observability the static
+		// laws ignore, not on a private signal.
+		SLO:    &slo.Config{Rules: scaleStudyRules(w.sla), Every: 0.5},
+		Faults: w.faults,
 	})
 	if err != nil {
 		return ScaleStudyRow{}, nil, err
@@ -289,6 +377,8 @@ func ScaleStudyData(scale Scale, seed int64) ([]ScaleStudyRow, error) {
 		{"occupancy", func() serving.ScalePolicy { return serving.NewOccupancyPolicy() }},
 		{"kv-headroom", func() serving.ScalePolicy { return serving.NewKVHeadroomPolicy() }},
 		{"hybrid-slo", func() serving.ScalePolicy { return serving.NewHybridSLOPolicy() }},
+		{"alert-aware", func() serving.ScalePolicy { return serving.NewAlertAwarePolicy() }},
+		{"adaptive", func() serving.ScalePolicy { return serving.NewAdaptivePolicy() }},
 	}
 	var out []ScaleStudyRow
 	for _, w := range scaleWorkloads() {

@@ -1,0 +1,40 @@
+package scheduler
+
+import "testing"
+
+func TestSelectBiasedSwaysAndKeepsLedgerInvariant(t *testing.T) {
+	g, group, policies := twoPathGraph()
+	tb := NewTable(g, group, policies, DefaultConfig())
+	// Fresh table, equal costs: the unbiased argmin ties to index 0, so a
+	// discount on policy 1 must sway the pick — and say so.
+	idx, swayed := tb.SelectBiased(1<<20, []float64{1, 0.5})
+	if idx != 1 || !swayed {
+		t.Fatalf("SelectBiased = %d swayed=%v, want 1 swayed", idx, swayed)
+	}
+	// The recorded eval is the biased vector: the chosen index must be the
+	// argmin of what lands in the audit record (zero execution regret).
+	ev := tb.LastEval()
+	for i, v := range ev {
+		if v < ev[idx] {
+			t.Errorf("eval[%d] = %g below chosen eval[%d] = %g", i, v, idx, ev[idx])
+		}
+	}
+}
+
+func TestSelectBiasedNilAndUnitBiasMatchSelect(t *testing.T) {
+	g, group, policies := twoPathGraph()
+	plain := NewTable(g, group, policies, DefaultConfig())
+	nilBias := NewTable(g, group, policies, DefaultConfig())
+	unitBias := NewTable(g, group, policies, DefaultConfig())
+	for i := 0; i < 20; i++ {
+		want := plain.Select(1 << 20)
+		gotNil, swNil := nilBias.SelectBiased(1<<20, nil)
+		gotUnit, swUnit := unitBias.SelectBiased(1<<20, []float64{1, 1})
+		if gotNil != want || swNil {
+			t.Fatalf("step %d: nil bias picked %d swayed=%v, Select picked %d", i, gotNil, swNil, want)
+		}
+		if gotUnit != want || swUnit {
+			t.Fatalf("step %d: unit bias picked %d swayed=%v, Select picked %d", i, gotUnit, swUnit, want)
+		}
+	}
+}

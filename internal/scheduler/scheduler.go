@@ -187,18 +187,39 @@ func (t *Table) Window() float64 { return t.cfg.Window }
 // winner's delta scaled by the load penalty. Ties break to the lowest index
 // (deterministic).
 func (t *Table) Select(size int64) int {
+	idx, _ := t.SelectBiased(size, nil)
+	return idx
+}
+
+// SelectBiased is Select with a per-policy multiplicative bias applied to
+// the compared J values: J'(c, D) = bias[c] * J(c, D). A nil bias (or all
+// ones) reproduces Select exactly. The biased vector is what LastEval
+// reports, so the ledger invariant "chosen == argmin of the recorded
+// candidates" keeps holding under bias; the synchronized cost update stays
+// unbiased (Eq. 17 charges the winner's true delta). swayed reports whether
+// the bias changed the winner versus the unbiased argmin — the audit uses
+// it to label stage-driven picks.
+func (t *Table) SelectBiased(size int64, bias []float64) (best int, swayed bool) {
 	if t.eval == nil {
 		t.eval = make([]float64, len(t.Policies))
 	}
-	best := 0
+	best = 0
 	bestJ := math.Inf(1)
+	rawBest, rawJ := 0, math.Inf(1)
 	for i := range t.Policies {
 		j := t.cost[i] + t.delta(i, size)
+		if j < rawJ {
+			rawBest, rawJ = i, j
+		}
+		if bias != nil {
+			j *= bias[i]
+		}
 		t.eval[i] = j
 		if j < bestJ {
 			best, bestJ = i, j
 		}
 	}
+	swayed = best != rawBest
 	d := t.delta(best, size)
 	for i := range t.Policies {
 		if i == best {
@@ -208,7 +229,7 @@ func (t *Table) Select(size int64) int {
 		}
 	}
 	t.selections[best]++
-	return best
+	return best, swayed
 }
 
 // RefreshCost re-anchors every policy's virtual cost to the live maximum

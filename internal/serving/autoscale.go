@@ -9,6 +9,7 @@ import (
 	"heroserve/internal/stats"
 	"heroserve/internal/telemetry"
 	"heroserve/internal/telemetry/decisions"
+	"heroserve/internal/telemetry/slo"
 )
 
 // AutoscaleConfig enables the §VII future-work mechanism: "rapid scaling in
@@ -135,10 +136,10 @@ type autoscaler struct {
 	telDecisions map[ScaleDecision]*telemetry.Counter
 
 	// decision-ledger state (inactive when the system has no ledger)
-	shadows     []ScalePolicy          // sorted by name; never drive the fleet
-	shadowSLA   SLA                    // private SLA copy handed to shadows
-	pending     *decisions.ScaleRecord // last record, awaiting its outcome
-	outcomeSeen int                    // metrics consumed for outcome windows
+	shadows     []ScalePolicy           // sorted by name; never drive the fleet
+	regret      *decisions.RegretWindow // sliding shadow-regret accounting
+	pending     *decisions.ScaleRecord  // last record, awaiting its outcome
+	outcomeSeen int                     // metrics consumed for outcome windows
 	telRecords  *telemetry.Counter
 	telShadow   map[string]*telemetry.Counter // per-law disagreement counters
 }
@@ -204,14 +205,16 @@ func (s *System) startAutoscaler(cfg AutoscaleConfig) {
 		if len(s.decode) > 0 {
 			gpus = len(s.decode[0].spec.GPUs())
 		}
-		s.ledger.SetScaleMeta(decisions.ScaleMeta{
+		meta := decisions.ScaleMeta{
 			Fleet:           len(s.decode),
 			InitialActive:   initial,
 			MinActive:       a.minActive,
 			Interval:        cfg.Interval,
 			GPUsPerInstance: gpus,
 			SLA:             s.opts.SLA != nil,
-		})
+		}
+		s.ledger.SetScaleMeta(meta)
+		a.regret = decisions.NewRegretWindow(0, meta)
 		if s.tel != nil {
 			a.telRecords = s.tel.Metrics.Counter("decision_records_total",
 				"Decision-ledger records appended, by kind.",
@@ -275,6 +278,11 @@ func (a *autoscaler) step() {
 			}
 		}
 	}
+	// The primary's batch advice applies after the fleet action; shadow laws'
+	// advice never does.
+	if adv, ok := a.cfg.Policy.(BatchAdvisor); ok {
+		a.sys.setBatchTarget(adv.BatchTarget(sig))
+	}
 	a.record(now, &sig, dec, applied, instance)
 	a.refreshIdle(now)
 	a.lastStep = now
@@ -307,18 +315,34 @@ func (a *autoscaler) record(now sim.Time, sig *ScaleSignals, dec ScaleDecision, 
 			TPOT:          sig.TPOT,
 			LatencyPrimed: sig.LatencyPrimed,
 			ActiveAlerts:  append([]string(nil), sig.ActiveAlerts...),
+			DominantStage: sig.DominantStage,
 		},
 	}
+	if mp, ok := a.cfg.Policy.(MetaPolicy); ok {
+		rec.Law = mp.ActiveLaw()
+		if sw, ok := mp.TakeSwitch(); ok {
+			rec.Switch = sw.From + "->" + sw.To
+			rec.SwitchSignal = sw.Signal
+		}
+	}
+	if bc := a.sys.batchCap(); bc > a.sys.opts.MaxDecodeBatch {
+		rec.BatchTarget = bc
+	}
+	// Isolation: shadows get a value copy of the snapshot with a private SLA
+	// each, plus slice views hoisted once per record, so even a law that
+	// writes through sig.SLA or mutates the slices cannot perturb the run's
+	// configuration or the primary's inputs.
+	shAlerts := append([]string(nil), sig.ActiveAlerts...)
+	shDetail := append([]AlertSignal(nil), sig.Alerts...)
+	shRegret := append([]decisions.LawRegret(nil), sig.LawRegret...)
 	for _, sp := range a.shadows {
-		// Isolation: shadows get a value copy of the snapshot with a private
-		// SLA and a private firing-set slice, so even a law that writes
-		// through sig.SLA or mutates ActiveAlerts cannot perturb the run's
-		// configuration or the primary's inputs.
 		shSig := *sig
-		shSig.ActiveAlerts = append([]string(nil), sig.ActiveAlerts...)
+		shSig.ActiveAlerts = shAlerts
+		shSig.Alerts = shDetail
+		shSig.LawRegret = shRegret
 		if sig.SLA != nil {
-			a.shadowSLA = *sig.SLA
-			shSig.SLA = &a.shadowSLA
+			sla := *sig.SLA
+			shSig.SLA = &sla
 		}
 		d := sp.Decide(shSig)
 		rec.Shadows = append(rec.Shadows, decisions.ShadowDecision{
@@ -335,13 +359,16 @@ func (a *autoscaler) record(now sim.Time, sig *ScaleSignals, dec ScaleDecision, 
 
 // stampOutcome closes the previous record's realized window: the requests
 // completed since that decision, their SLA verdicts (the exact
-// Results.Attainment criterion), and their mean TTFT/TPOT.
+// Results.Attainment criterion), and their mean TTFT/TPOT. The metrics
+// window is consumed only when a record is pending — completions landing in
+// a ledger gap stay queued for the next stamped outcome instead of being
+// silently dropped.
 func (a *autoscaler) stampOutcome(now sim.Time) {
-	ms := a.sys.metrics[a.outcomeSeen:]
-	a.outcomeSeen = len(a.sys.metrics)
 	if a.pending == nil {
 		return
 	}
+	ms := a.sys.metrics[a.outcomeSeen:]
+	a.outcomeSeen = len(a.sys.metrics)
 	o := decisions.Outcome{Horizon: now - a.pending.T}
 	var ttft, tpot float64
 	sla := a.sys.opts.SLA
@@ -358,6 +385,7 @@ func (a *autoscaler) stampOutcome(now sim.Time) {
 		o.TPOT = tpot / float64(o.Completed)
 	}
 	a.pending.Outcome = &o
+	a.regret.Observe(a.pending)
 	a.pending = nil
 }
 
@@ -401,6 +429,8 @@ func (a *autoscaler) collect(now sim.Time) ScaleSignals {
 			longest = now - di.idleSince
 		}
 	}
+	feed := s.mon.Feed()
+	dom, domShare := s.shares.Dominant()
 	return ScaleSignals{
 		Now:           now,
 		Backlog:       backlog,
@@ -416,8 +446,33 @@ func (a *autoscaler) collect(now sim.Time) ScaleSignals {
 		TPOT:          a.tpotWin.Mean(),
 		LatencyPrimed: a.ttftWin.Len() > 0,
 		SLA:           s.opts.SLA,
-		ActiveAlerts:  s.mon.Feed().ActiveNames(),
+		ActiveAlerts:  feed.ActiveNames(),
+		Alerts:        alertSignals(feed),
+		DominantStage: dom,
+		DominantShare: domShare,
+		LawRegret:     a.regret.Regret(),
 	}
+}
+
+// alertSignals converts the monitor's live feed into the policy-facing view:
+// firing alerts first, then pending, each group sorted by rule name. Nil
+// when nothing is live (or no monitor is armed).
+func alertSignals(feed *slo.SignalFeed) []AlertSignal {
+	firing := feed.Active()
+	pend := feed.Pending()
+	if len(firing) == 0 && len(pend) == 0 {
+		return nil
+	}
+	out := make([]AlertSignal, 0, len(firing)+len(pend))
+	for _, al := range firing {
+		out = append(out, AlertSignal{
+			Rule: al.Rule, Kind: string(al.Kind), Firing: true, Dominant: al.Dominant,
+		})
+	}
+	for _, al := range pend {
+		out = append(out, AlertSignal{Rule: al.Rule, Kind: string(al.Kind)})
+	}
+	return out
 }
 
 // deactivatable reports whether the instance is a scale-in candidate: truly

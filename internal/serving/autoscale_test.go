@@ -7,6 +7,7 @@ import (
 	"heroserve/internal/collective"
 	"heroserve/internal/model"
 	"heroserve/internal/telemetry"
+	"heroserve/internal/telemetry/decisions"
 	"heroserve/internal/topology"
 	"heroserve/internal/workload"
 )
@@ -348,5 +349,75 @@ func TestAutoscalerGPUSecondsLedger(t *testing.T) {
 	got, ok := hub.Metrics.Value("decode_gpu_seconds_total")
 	if !ok || got != res.ActiveGPUSeconds {
 		t.Errorf("decode_gpu_seconds_total = %v (ok=%v), want exactly %v", got, ok, res.ActiveGPUSeconds)
+	}
+}
+
+// TestStampOutcomeHoldsWindowWithoutPending is the regression for the
+// outcome-cursor bug: stampOutcome used to advance outcomeSeen even with no
+// record pending, silently dropping every completion that landed in a ledger
+// gap. The window must be consumed only into a pending record's outcome.
+func TestStampOutcomeHoldsWindowWithoutPending(t *testing.T) {
+	sys := &System{}
+	sys.opts.SLA = &SLA{TTFT: 1, TPOT: 0.1}
+	sys.metrics = []RequestMetrics{
+		{TTFT: 0.5, TPOT: 0.05}, // meets the SLA
+		{TTFT: 2.0, TPOT: 0.05}, // TTFT miss
+	}
+	a := &autoscaler{sys: sys}
+	// No record pending: the completions must stay queued for the next
+	// stamped outcome, not be consumed into the void.
+	a.stampOutcome(5)
+	if a.outcomeSeen != 0 {
+		t.Fatalf("outcomeSeen = %d after a no-pending stamp, want 0 (gap completions dropped)", a.outcomeSeen)
+	}
+	rec := &decisions.ScaleRecord{T: 4}
+	a.pending = rec
+	sys.metrics = append(sys.metrics, RequestMetrics{TTFT: 0.2, TPOT: 0.2}) // TPOT miss
+	a.stampOutcome(6)
+	if rec.Outcome == nil {
+		t.Fatal("pending record got no outcome")
+	}
+	if rec.Outcome.Completed != 3 {
+		t.Errorf("outcome completed = %d, want 3 (gap completions included)", rec.Outcome.Completed)
+	}
+	if rec.Outcome.Met != 1 {
+		t.Errorf("outcome met = %d, want 1", rec.Outcome.Met)
+	}
+	if rec.Outcome.Horizon != 2 {
+		t.Errorf("outcome horizon = %g, want 2", rec.Outcome.Horizon)
+	}
+	if a.pending != nil || a.outcomeSeen != 3 {
+		t.Errorf("pending = %v, outcomeSeen = %d after stamping, want nil, 3", a.pending, a.outcomeSeen)
+	}
+}
+
+// TestAutoscalerAlertPolicyWithoutMonitor pins the nil-monitor path: an
+// alert-consuming primary on a run with no SLO config crosses the nil signal
+// feed on every control step (collect → Feed().ActiveNames()) and still
+// scales on its backlog backstop.
+func TestAutoscalerAlertPolicyWithoutMonitor(t *testing.T) {
+	cfg := scaleCfg()
+	cfg.Policy = NewAlertAwarePolicy()
+	res, led, _ := runScaleLedger(t, cfg)
+	if res.Served != 63 {
+		t.Fatalf("served %d/63", res.Served)
+	}
+	if sys := res.ScaleEvents; len(sys) == 0 {
+		t.Fatal("no scale events at all")
+	}
+	var activated bool
+	for _, e := range res.ScaleEvents {
+		if e.Action == "activate" {
+			activated = true
+		}
+	}
+	if !activated {
+		t.Error("alert-aware backstop never scaled out without a monitor")
+	}
+	for i := range led.Scale {
+		r := &led.Scale[i]
+		if len(r.Signals.ActiveAlerts) != 0 {
+			t.Fatalf("record %d carries alerts %v with no monitor armed", i, r.Signals.ActiveAlerts)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"heroserve/internal/telemetry"
 	"heroserve/internal/telemetry/decisions"
+	"heroserve/internal/telemetry/slo"
 	"heroserve/internal/topology"
 )
 
@@ -203,5 +204,113 @@ func TestShadowPurity(t *testing.T) {
 		if !okA || !okB || a != b {
 			t.Errorf("%s count %v,%v vs %v,%v", m, a, okA, b, okB)
 		}
+	}
+}
+
+// slaScribbler corrupts the SLA through the pointer it is handed on every
+// call; slaObserver records what it sees. Shadows run sorted by name, so
+// "a-scribbler" always precedes "b-observer".
+type slaScribbler struct{}
+
+func (slaScribbler) Name() string { return "a-scribbler" }
+
+func (slaScribbler) Decide(sig ScaleSignals) ScaleDecision {
+	if sig.SLA != nil {
+		sig.SLA.TTFT, sig.SLA.TPOT = -1, -1
+	}
+	return ScaleHold
+}
+
+type slaObserver struct{ bad int }
+
+func (o *slaObserver) Name() string { return "b-observer" }
+
+func (o *slaObserver) Decide(sig ScaleSignals) ScaleDecision {
+	if sig.SLA == nil || sig.SLA.TTFT != 2.5 || sig.SLA.TPOT != 0.15 {
+		o.bad++
+	}
+	return ScaleHold
+}
+
+// TestShadowPrivateSLA is the regression for the shadow SLA aliasing bug:
+// every shadow used to share one SLA copy, so one law writing through the
+// pointer corrupted the snapshot every later shadow saw on the same step.
+// Each shadow must get its own private copy.
+func TestShadowPrivateSLA(t *testing.T) {
+	cfg := scaleCfg()
+	obs := &slaObserver{}
+	cfg.ShadowPolicies = []ScalePolicy{slaScribbler{}, obs}
+	_, led, _ := runScaleLedger(t, cfg)
+	if len(led.Scale) == 0 {
+		t.Fatal("no scale records")
+	}
+	if obs.bad > 0 {
+		t.Errorf("observer saw a corrupted SLA on %d of %d steps", obs.bad, len(led.Scale))
+	}
+}
+
+// TestAdaptiveSwitchLandsInLedger closes the loop end to end: an adaptive
+// primary under a live SLO monitor must see the firing alert in its signals
+// (the ActiveAlerts feed is consumed, not just recorded) and every runtime
+// law switch must land in the ledger naming its driving signal.
+func TestAdaptiveSwitchLandsInLedger(t *testing.T) {
+	g := topology.Testbed()
+	dep := scaleDeployment(t, g)
+	hub := telemetry.New()
+	sla := SLA{TTFT: 2.5, TPOT: 0.15}
+	sys, err := New(g, dep, Options{
+		MaxDecodeBatch: 8,
+		Telemetry:      hub,
+		SLA:            &sla,
+		SLO: &slo.Config{Every: 0.5, Rules: []slo.Rule{
+			// A hair-trigger kv-saturation rule: fires as soon as the burst
+			// occupies any KV at all, forcing hybrid-slo -> kv-headroom.
+			{Name: "kv-hot", Kind: slo.KindKVSaturation, Severity: slo.SevWarning, Threshold: 0.01},
+		}},
+		Autoscale: &AutoscaleConfig{
+			InitialActive: 1,
+			Interval:      0.5,
+			Policy:        NewAdaptivePolicy(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(burstTrace(60))
+	if res.Served != 63 {
+		t.Fatalf("served %d/63", res.Served)
+	}
+	led := sys.DecisionLedger()
+	if led == nil || len(led.Scale) == 0 {
+		t.Fatal("no scale records")
+	}
+	var sawAlert, sawSwitch bool
+	for i := range led.Scale {
+		r := &led.Scale[i]
+		if r.Law == "" {
+			t.Fatalf("record %d from a meta-policy has no active law", i)
+		}
+		if len(r.Signals.ActiveAlerts) > 0 {
+			sawAlert = true
+		}
+		if r.Switch != "" {
+			sawSwitch = true
+			switch r.SwitchSignal {
+			case "alert", "stage-share", "regret":
+			default:
+				t.Errorf("record %d switch %q has signal %q, want alert|stage-share|regret",
+					i, r.Switch, r.SwitchSignal)
+			}
+		}
+	}
+	if !sawAlert {
+		t.Error("no record saw an active alert: the feed never reached the signals")
+	}
+	if !sawSwitch {
+		t.Error("the firing kv-saturation alert produced no ledger-visible law switch")
+	}
+	sum := led.Summarize()
+	if len(sum.Switches) == 0 {
+		t.Error("summary rolled up no switches")
 	}
 }

@@ -43,9 +43,15 @@ type System struct {
 
 	metrics []RequestMetrics
 
+	// batchTarget is the effective per-instance running-batch cap, steered
+	// at runtime by a BatchAdvisor scale policy; 0 means the configured
+	// Options.MaxDecodeBatch.
+	batchTarget int
+
 	// Telemetry (nil when off).
 	tel           *telemetry.Hub
 	crit          *critpath.Collector
+	shares        *critpath.ShareTracker
 	ledger        *decisions.Ledger
 	mon           *slo.Monitor
 	telAdmitted   *telemetry.Counter
@@ -194,8 +200,12 @@ func (s *System) attachTelemetry(h *telemetry.Hub) {
 		})
 	}
 	// Bind the critical-path collector before Attach so its tap observes the
-	// run's process_name metadata (it needs the pid→process mapping).
+	// run's process_name metadata (it needs the pid→process mapping). The
+	// stage-share tracker rides the same finalize stream: it is the live
+	// window the online collective policy and the autoscaler act on.
 	s.crit = critpath.Bind(h)
+	s.shares = critpath.NewShareTracker(0)
+	s.crit.Analyzer.OnFinalize(s.shares.Observe)
 	h.Attach(s.eng.Now, s.opts.Policy.Name())
 	s.net.SetTelemetry(h)
 	s.comm.SetTelemetry(h)
@@ -243,6 +253,41 @@ func (s *System) attachTelemetry(h *telemetry.Hub) {
 // SLOMonitor returns the run's alert monitor (nil when Options.SLO is unset
 // or telemetry is off). Read its log or subscribe to its feed before Run.
 func (s *System) SLOMonitor() *slo.Monitor { return s.mon }
+
+// StageShares returns the live critical-path stage-share window (nil when
+// telemetry is off). The online collective policy biases scheme selection on
+// it; the autoscaler folds its dominant stage into ScaleSignals.
+func (s *System) StageShares() *critpath.ShareTracker { return s.shares }
+
+// setBatchTarget steers the effective running-batch cap, clamped to
+// [MaxDecodeBatch, 2*MaxDecodeBatch]. Raising the cap re-runs admission on
+// every active instance so widening takes effect this control step.
+func (s *System) setBatchTarget(n int) {
+	if n < s.opts.MaxDecodeBatch {
+		n = s.opts.MaxDecodeBatch
+	}
+	if max := 2 * s.opts.MaxDecodeBatch; n > max {
+		n = max
+	}
+	prev := s.batchCap()
+	s.batchTarget = n
+	if n > prev {
+		for _, di := range s.decode {
+			if di.active && !di.activating {
+				s.admitDecode(di)
+				s.maybeIterate(di)
+			}
+		}
+	}
+}
+
+// batchCap returns the effective per-instance running-batch cap.
+func (s *System) batchCap() int {
+	if s.batchTarget > 0 {
+		return s.batchTarget
+	}
+	return s.opts.MaxDecodeBatch
+}
 
 // stageTransferCounter returns the per-stage activation hand-off counter
 // (nil handle when telemetry is off). stage is the 1-based destination
@@ -603,7 +648,7 @@ func (s *System) kvArrived(r *request) {
 func (s *System) admitDecode(di *decodeInstance) {
 	kvPerTok := s.dep.Model.KVBytesPerToken()
 	changed := false
-	for len(di.pending) > 0 && len(di.running) < s.opts.MaxDecodeBatch {
+	for len(di.pending) > 0 && len(di.running) < s.batchCap() {
 		r := di.pending[0]
 		need := r.kvTokens() * kvPerTok
 		if di.kvUsed+need > di.kvCap && len(di.running) > 0 {

@@ -135,7 +135,7 @@ type Analyzer struct {
 	reqs    map[reqKey]*reqState
 	faults  map[int][]interval // fault-active windows per process
 	done    []Breakdown        // finalized, in completion order
-	onFinal func(Breakdown)
+	onFinal []func(Breakdown)
 }
 
 // New returns an empty analyzer.
@@ -149,8 +149,9 @@ func New() *Analyzer {
 }
 
 // OnFinalize installs fn to run on every request the moment its breakdown is
-// complete (the live collector bumps registry counters here).
-func (a *Analyzer) OnFinalize(fn func(Breakdown)) { a.onFinal = fn }
+// complete (the live collector bumps registry counters here, the stage-share
+// tracker its sliding window). Callbacks run in registration order.
+func (a *Analyzer) OnFinalize(fn func(Breakdown)) { a.onFinal = append(a.onFinal, fn) }
 
 // Finalized returns the breakdowns completed so far, in completion order
 // (which the deterministic event loop makes deterministic).
@@ -307,8 +308,8 @@ func (a *Analyzer) finalize(k reqKey, rs *reqState) {
 		b.E2E += v / 1e6
 	}
 	a.done = append(a.done, b)
-	if a.onFinal != nil {
-		a.onFinal(b)
+	for _, fn := range a.onFinal {
+		fn(b)
 	}
 }
 

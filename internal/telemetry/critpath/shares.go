@@ -1,0 +1,98 @@
+package critpath
+
+// ShareTracker maintains a sliding window over the most recently finalized
+// requests' TTFT critical-path attribution and answers the control-plane
+// question "which stage dominates recent TTFT, and by how much". It is the
+// live counterpart of the post-hoc stage report: the online collective
+// policy biases scheme selection on it and the autoscaler folds it into
+// ScaleSignals.
+//
+// Determinism: the tracker consumes only the analyzer's finalize stream
+// (itself deterministic under the event loop) and resolves ties in canonical
+// stage order, so same-seed runs see identical dominants.
+type ShareTracker struct {
+	window int
+	ring   [][]stageMass // per-request TTFT masses, stage-sorted
+	next   int
+	count  int
+	sums   map[string]float64
+	total  float64
+}
+
+type stageMass struct {
+	stage string
+	sec   float64
+}
+
+// NewShareTracker returns a tracker over the last window finalized requests
+// (window <= 0 selects the default of 32).
+func NewShareTracker(window int) *ShareTracker {
+	if window <= 0 {
+		window = 32
+	}
+	return &ShareTracker{
+		window: window,
+		ring:   make([][]stageMass, window),
+		sums:   make(map[string]float64),
+	}
+}
+
+// Observe folds one finalized request into the window, evicting the oldest
+// entry once the window is full. Nil-safe. Wire it via Analyzer.OnFinalize.
+func (t *ShareTracker) Observe(b Breakdown) {
+	if t == nil {
+		return
+	}
+	for _, m := range t.ring[t.next] {
+		t.sums[m.stage] -= m.sec
+		t.total -= m.sec
+	}
+	entry := make([]stageMass, 0, len(b.TTFTStages))
+	for _, s := range sortStages(b.TTFTStages) {
+		sec := b.TTFTStages[s]
+		entry = append(entry, stageMass{stage: s, sec: sec})
+		t.sums[s] += sec
+		t.total += sec
+	}
+	t.ring[t.next] = entry
+	t.next = (t.next + 1) % t.window
+	if t.count < t.window {
+		t.count++
+	}
+}
+
+// Len reports how many requests the window currently holds. Nil-safe.
+func (t *ShareTracker) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.count
+}
+
+// Share returns the given stage's fraction of windowed TTFT mass (0 when the
+// window is empty). Nil-safe.
+func (t *ShareTracker) Share(stage string) float64 {
+	if t == nil || t.total <= 0 {
+		return 0
+	}
+	return t.sums[stage] / t.total
+}
+
+// Dominant returns the stage carrying the largest share of windowed TTFT
+// mass and that share; ("", 0) while the window is empty. Ties break in
+// canonical stage order. Nil-safe.
+func (t *ShareTracker) Dominant() (string, float64) {
+	if t == nil || t.total <= 0 {
+		return "", 0
+	}
+	best, bestV := "", -1.0
+	for _, s := range sortStages(t.sums) {
+		if v := t.sums[s]; v > bestV {
+			best, bestV = s, v
+		}
+	}
+	if bestV <= 0 {
+		return "", 0
+	}
+	return best, bestV / t.total
+}

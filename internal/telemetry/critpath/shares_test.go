@@ -1,0 +1,43 @@
+package critpath
+
+import "testing"
+
+func TestShareTrackerDominantAndEviction(t *testing.T) {
+	tr := NewShareTracker(2)
+	if d, s := tr.Dominant(); d != "" || s != 0 {
+		t.Fatalf("empty tracker dominant = %q,%g", d, s)
+	}
+	tr.Observe(Breakdown{TTFTStages: map[string]float64{StageQueue: 3, StagePrefillCompute: 1}})
+	if d, s := tr.Dominant(); d != StageQueue || s != 0.75 {
+		t.Errorf("dominant = %q,%g, want queue,0.75", d, s)
+	}
+	if s := tr.Share(StageQueue); s != 0.75 {
+		t.Errorf("queue share = %g, want 0.75", s)
+	}
+	tr.Observe(Breakdown{TTFTStages: map[string]float64{StagePrefillCompute: 5}})
+	if d, s := tr.Dominant(); d != StagePrefillCompute || s != 6.0/9.0 {
+		t.Errorf("dominant = %q,%g, want prefill-compute,2/3", d, s)
+	}
+	// The window holds two requests: a third evicts the queue-heavy first.
+	tr.Observe(Breakdown{TTFTStages: map[string]float64{StagePrefillCompute: 1}})
+	if tr.Len() != 2 {
+		t.Errorf("len = %d, want 2", tr.Len())
+	}
+	if s := tr.Share(StageQueue); s != 0 {
+		t.Errorf("queue share after eviction = %g, want 0", s)
+	}
+	if d, s := tr.Dominant(); d != StagePrefillCompute || s != 1 {
+		t.Errorf("dominant after eviction = %q,%g, want prefill-compute,1", d, s)
+	}
+}
+
+func TestShareTrackerNilSafety(t *testing.T) {
+	var tr *ShareTracker
+	tr.Observe(Breakdown{}) // must not panic
+	if tr.Len() != 0 || tr.Share(StageQueue) != 0 {
+		t.Error("nil tracker reported mass")
+	}
+	if d, s := tr.Dominant(); d != "" || s != 0 {
+		t.Errorf("nil tracker dominant = %q,%g", d, s)
+	}
+}

@@ -120,7 +120,15 @@ type CollectiveRecord struct {
 	// move an INA pick to the ring row without waiting for a table refresh.
 	Executed int    `json:"executed"`
 	Scheme   string `json:"scheme"` // executed scheme
-	Reason   string `json:"reason"` // "table" | "guard-fallback"
+	// Reason labels how the executed candidate was reached: "table" (plain
+	// Eq. 16 argmin), "guard-fallback" (data-plane guard moved an INA pick to
+	// ring), "stage-ina" / "stage-hold" (the live stage-share bias changed
+	// the winner versus the unbiased argmin).
+	Reason string `json:"reason"`
+	// StageSignal names the dominant critical-path stage driving a
+	// stage-share bias at this decision ("" when no bias applied). Set even
+	// when the bias did not change the winner.
+	StageSignal string `json:"stage_signal,omitempty"`
 	// Actual is Candidates[Executed].CostSeconds — the audited cost of the
 	// decision, bit-identical to the counterfactual vector entry.
 	Actual Float `json:"actual_seconds"`
@@ -145,6 +153,10 @@ type ScaleSignalsRec struct {
 	// ActiveAlerts is the SLO monitor's firing set (sorted rule names) at
 	// decision time — empty until a monitor is armed.
 	ActiveAlerts []string `json:"active_alerts,omitempty"`
+	// DominantStage is the critical-path stage carrying the largest share of
+	// recent requests' TTFT at decision time ("" until requests complete or
+	// when telemetry is off).
+	DominantStage string `json:"dominant_stage,omitempty"`
 }
 
 // ShadowDecision is one shadow law's verdict on the same signals.
@@ -171,6 +183,17 @@ type ScaleRecord struct {
 	Applied  string          `json:"applied"`  // "activate" | "deactivate" | "none"
 	Instance int             `json:"instance"` // affected instance id, -1 when none
 	Signals  ScaleSignalsRec `json:"signals"`
+	// Law is the sub-law a meta-policy (adaptive) delegated this step to
+	// ("" for plain laws).
+	Law string `json:"law,omitempty"`
+	// Switch records a runtime sub-law switch decided this step as
+	// "<from>-><to>"; SwitchSignal names the signal that drove it:
+	// "alert", "stage-share", or "regret".
+	Switch       string `json:"switch,omitempty"`
+	SwitchSignal string `json:"switch_signal,omitempty"`
+	// BatchTarget is the effective decode batch cap in force after this step
+	// when a policy widened it beyond the configured maximum (0 otherwise).
+	BatchTarget int `json:"batch_target,omitempty"`
 	// Shadows holds every registered law's verdict on the same signals,
 	// sorted by law name. Shadow laws are isolated: they observe signal
 	// copies and their verdicts are never applied.
@@ -405,6 +428,12 @@ type Drift struct {
 	Completed  int     `json:"completed"`
 }
 
+// SwitchStat counts runtime policy switches by the signal that drove them.
+type SwitchStat struct {
+	Signal string `json:"signal"`
+	Count  int64  `json:"count"`
+}
+
 // Summary condenses a ledger for reports, the serve one-liner, and the
 // golden TSVs.
 type Summary struct {
@@ -412,17 +441,19 @@ type Summary struct {
 	Scale              int          `json:"scale"`
 	Fallbacks          int64        `json:"fallbacks"`
 	Stalled            int64        `json:"stalled"`
+	StageSwayed        int64        `json:"stage_swayed"`         // stage-share bias changed the collective winner
 	TotalRegretSeconds float64      `json:"total_regret_seconds"` // executed vs best, summed
 	Schemes            []SchemeStat `json:"schemes"`              // sorted by RegretSeconds asc, then name
 	Primary            string       `json:"primary,omitempty"`    // scale primary law (if any)
 	Laws               []LawStat    `json:"laws"`                 // sorted by law name
 	Disagreements      int64        `json:"disagreements"`        // total shadow disagreements
+	Switches           []SwitchStat `json:"switches"`             // runtime sub-law switches, sorted by signal
 	Drift              *Drift       `json:"drift,omitempty"`
 }
 
 // Summarize builds the ledger's summary.
 func (l *Ledger) Summarize() *Summary {
-	s := &Summary{Schemes: []SchemeStat{}, Laws: []LawStat{}}
+	s := &Summary{Schemes: []SchemeStat{}, Laws: []LawStat{}, Switches: []SwitchStat{}}
 	if l == nil {
 		return s
 	}
@@ -440,7 +471,11 @@ func (l *Ledger) Summarize() *Summary {
 	}
 	for i := range l.Collective {
 		r := &l.Collective[i]
-		if r.Reason != "table" {
+		switch r.Reason {
+		case "stage-ina", "stage-hold":
+			s.StageSwayed++
+		case "table":
+		default:
 			s.Fallbacks++
 		}
 		if r.Stalled {
@@ -523,9 +558,17 @@ func (l *Ledger) Summarize() *Summary {
 	var drift Drift
 	var sigTTFT, sigTPOT, realTTFT, realTPOT float64
 	var met int
+	switches := map[string]int64{}
 	for i := range l.Scale {
 		r := &l.Scale[i]
 		s.Primary = r.Primary
+		if r.Switch != "" {
+			sigName := r.SwitchSignal
+			if sigName == "" {
+				sigName = "unknown"
+			}
+			switches[sigName]++
+		}
 		for _, sh := range r.Shadows {
 			st := law(sh.Law)
 			switch sh.Decision {
@@ -558,6 +601,14 @@ func (l *Ledger) Summarize() *Summary {
 	sort.Strings(lawNames)
 	for _, n := range lawNames {
 		s.Laws = append(s.Laws, *laws[n])
+	}
+	sigNames := make([]string, 0, len(switches))
+	for n := range switches {
+		sigNames = append(sigNames, n)
+	}
+	sort.Strings(sigNames)
+	for _, n := range sigNames {
+		s.Switches = append(s.Switches, SwitchStat{Signal: n, Count: switches[n]})
 	}
 	if drift.Windows > 0 {
 		n := float64(drift.Windows)
@@ -629,10 +680,16 @@ func (s *Summary) WriteTSV(w io.Writer) error {
 	for _, lw := range s.Laws {
 		fmt.Fprintf(&b, "%s\t%d\t%d\t%d\t%d\n", lw.Law, lw.ScaleOut, lw.ScaleIn, lw.Hold, lw.Disagree)
 	}
+	b.WriteString("## switches\n")
+	b.WriteString("signal\tcount\n")
+	for _, sw := range s.Switches {
+		fmt.Fprintf(&b, "%s\t%d\n", sw.Signal, sw.Count)
+	}
 	b.WriteString("## totals\n")
 	fmt.Fprintf(&b, "collective\t%d\n", s.Collective)
 	fmt.Fprintf(&b, "scale\t%d\n", s.Scale)
 	fmt.Fprintf(&b, "fallbacks\t%d\n", s.Fallbacks)
+	fmt.Fprintf(&b, "stage_swayed\t%d\n", s.StageSwayed)
 	fmt.Fprintf(&b, "stalled\t%d\n", s.Stalled)
 	fmt.Fprintf(&b, "regret_seconds\t%s\n", ftsv(s.TotalRegretSeconds))
 	if s.Drift != nil {

@@ -1,0 +1,158 @@
+package decisions
+
+import "sort"
+
+// LawRegret is one law's sliding-window counterfactual score: the live
+// signal the adaptive meta-policy switches sub-laws on. Lower is better —
+// charged misses first, then GPU-seconds.
+type LawRegret struct {
+	Law           string  `json:"law"`
+	ChargedMisses int     `json:"charged_misses"`
+	Completed     int     `json:"completed"`
+	GPUSeconds    float64 `json:"gpu_seconds"`
+}
+
+// RegretWindow incrementally maintains, per shadow law, the counterfactual
+// accounting ShadowRanking computes post hoc — restricted to a sliding
+// window of recent outcome-stamped decisions, so a controller can act on it
+// mid-run. The committed-fleet replay is cumulative from the run start
+// (fleet state cannot be windowed); the charge and GPU-second sums cover
+// only records newer than the window.
+type RegretWindow struct {
+	window    float64
+	meta      ScaleMeta
+	laws      []string
+	committed map[string]int
+	entries   []regretEntry
+	sums      map[string]*LawRegret
+}
+
+type regretEntry struct {
+	t      float64
+	perLaw []lawDelta // aligned with laws
+}
+
+type lawDelta struct {
+	charged   int
+	completed int
+	gpu       float64
+}
+
+// NewRegretWindow returns an empty window of the given span in sim-seconds
+// (<= 0 selects the default of 15). meta supplies the fleet bounds the
+// committed-fleet replay needs.
+func NewRegretWindow(window float64, meta ScaleMeta) *RegretWindow {
+	if window <= 0 {
+		window = 15
+	}
+	if meta.Fleet <= 0 {
+		meta.Fleet = 1
+	}
+	if meta.MinActive <= 0 {
+		meta.MinActive = 1
+	}
+	if meta.InitialActive <= 0 {
+		meta.InitialActive = meta.MinActive
+	}
+	if meta.GPUsPerInstance <= 0 {
+		meta.GPUsPerInstance = 1
+	}
+	return &RegretWindow{
+		window:    window,
+		meta:      meta,
+		committed: make(map[string]int),
+		sums:      make(map[string]*LawRegret),
+	}
+}
+
+// Observe folds one outcome-stamped scale record into the window. Call it
+// exactly once per record, in decision order, after its Outcome is stamped.
+// Records without an outcome still advance the committed-fleet replay.
+// Nil-safe.
+func (rw *RegretWindow) Observe(rec *ScaleRecord) {
+	if rw == nil || rec == nil {
+		return
+	}
+	if rw.laws == nil {
+		for _, sh := range rec.Shadows {
+			rw.laws = append(rw.laws, sh.Law)
+			rw.committed[sh.Law] = rw.meta.InitialActive
+			rw.sums[sh.Law] = &LawRegret{Law: sh.Law}
+		}
+	}
+	actual := rec.Signals.Active + rec.Signals.Activating
+	switch rec.Applied {
+	case "activate":
+		actual++
+	case "deactivate":
+		actual--
+	}
+	entry := regretEntry{t: rec.T, perLaw: make([]lawDelta, len(rw.laws))}
+	for i, law := range rw.laws {
+		verdict := ""
+		for _, sh := range rec.Shadows {
+			if sh.Law == law {
+				verdict = sh.Decision
+				break
+			}
+		}
+		committed := rw.committed[law]
+		switch verdict {
+		case "scale_out":
+			if committed < rw.meta.Fleet {
+				committed++
+			}
+		case "scale_in":
+			if committed > rw.meta.MinActive {
+				committed--
+			}
+		}
+		rw.committed[law] = committed
+		d := &entry.perLaw[i]
+		if o := rec.Outcome; o != nil {
+			d.gpu = float64(committed) * o.Horizon * float64(rw.meta.GPUsPerInstance)
+			if o.Completed > 0 {
+				d.completed = o.Completed
+				if committed < actual && rec.Signals.Backlog > 0 {
+					d.charged = o.Completed
+				} else {
+					d.charged = o.Completed - o.Met
+				}
+			}
+		}
+		s := rw.sums[law]
+		s.ChargedMisses += d.charged
+		s.Completed += d.completed
+		s.GPUSeconds += d.gpu
+	}
+	rw.entries = append(rw.entries, entry)
+	cut := rec.T - rw.window
+	drop := 0
+	for drop < len(rw.entries) && rw.entries[drop].t < cut {
+		for i, law := range rw.laws {
+			d := rw.entries[drop].perLaw[i]
+			s := rw.sums[law]
+			s.ChargedMisses -= d.charged
+			s.Completed -= d.completed
+			s.GPUSeconds -= d.gpu
+		}
+		drop++
+	}
+	if drop > 0 {
+		rw.entries = append(rw.entries[:0], rw.entries[drop:]...)
+	}
+}
+
+// Regret returns the current per-law window sums, sorted by law name. The
+// slice is the caller's to keep. Nil-safe.
+func (rw *RegretWindow) Regret() []LawRegret {
+	if rw == nil || len(rw.laws) == 0 {
+		return nil
+	}
+	out := make([]LawRegret, 0, len(rw.laws))
+	for _, law := range rw.laws {
+		out = append(out, *rw.sums[law])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Law < out[j].Law })
+	return out
+}

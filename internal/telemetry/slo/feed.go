@@ -13,12 +13,15 @@ type Signal struct {
 	Value    float64
 }
 
-// ActiveAlert is one currently-firing rule, as reported by Active.
+// ActiveAlert is one currently-firing (or, via Pending, breached-but-not-yet
+// firing) rule, as reported by Active.
 type ActiveAlert struct {
 	Rule     string
+	Kind     Kind
 	Severity Severity
-	Since    float64 // sim-time the alert fired
+	Since    float64 // sim-time the alert fired (entered pending, for Pending)
 	Value    float64 // rule measure at firing
+	Dominant string  // dominant critical-path stage of the firing cause ("" when none)
 }
 
 // SignalFeed is the monitor's typed, subscribable view of the firing set.
@@ -28,12 +31,16 @@ type ActiveAlert struct {
 // feed exists so control loops can act on alerts without another plumbing
 // pass.
 type SignalFeed struct {
-	subs   []func(Signal)
-	active map[string]ActiveAlert
+	subs    []func(Signal)
+	active  map[string]ActiveAlert
+	pending map[string]ActiveAlert
 }
 
 func newSignalFeed() *SignalFeed {
-	return &SignalFeed{active: make(map[string]ActiveAlert)}
+	return &SignalFeed{
+		active:  make(map[string]ActiveAlert),
+		pending: make(map[string]ActiveAlert),
+	}
 }
 
 // Subscribe registers fn for every subsequent lifecycle transition, in the
@@ -49,9 +56,13 @@ func (f *SignalFeed) Subscribe(fn func(Signal)) {
 // subscribers.
 func (f *SignalFeed) publish(sig Signal, at ActiveAlert) {
 	switch sig.State {
+	case StatePending:
+		f.pending[sig.Rule] = at
 	case StateFiring:
+		delete(f.pending, sig.Rule)
 		f.active[sig.Rule] = at
 	case StateResolved:
+		delete(f.pending, sig.Rule)
 		delete(f.active, sig.Rule)
 	}
 	for _, fn := range f.subs {
@@ -83,6 +94,20 @@ func (f *SignalFeed) ActiveNames() []string {
 		out = append(out, name)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// Pending returns the breached-but-not-yet-firing alerts (inside their For
+// hold-down), sorted by rule name. Nil-safe; the slice is the caller's to keep.
+func (f *SignalFeed) Pending() []ActiveAlert {
+	if f == nil || len(f.pending) == 0 {
+		return nil
+	}
+	out := make([]ActiveAlert, 0, len(f.pending))
+	for _, a := range f.pending {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule < out[j].Rule })
 	return out
 }
 

@@ -1,0 +1,59 @@
+package slo
+
+import "testing"
+
+func TestSignalFeedLifecycle(t *testing.T) {
+	f := newSignalFeed()
+	var seen []Signal
+	f.Subscribe(func(s Signal) { seen = append(seen, s) })
+
+	// Pending: listed by Pending, invisible to Active/ActiveNames/Worst.
+	f.publish(Signal{T: 1, Rule: "r", Kind: KindBurnRate, State: StatePending},
+		ActiveAlert{Rule: "r", Kind: KindBurnRate, Since: 1})
+	if p := f.Pending(); len(p) != 1 || p[0].Rule != "r" || p[0].Kind != KindBurnRate {
+		t.Fatalf("Pending = %+v, want one burn-rate entry", p)
+	}
+	if a := f.Active(); a != nil {
+		t.Fatalf("Active = %+v while only pending", a)
+	}
+	if _, ok := f.Worst(); ok {
+		t.Error("Worst ok while only pending")
+	}
+
+	// Firing: moves from pending to active, carrying value and cause stage.
+	f.publish(Signal{T: 2, Rule: "r", Kind: KindBurnRate, State: StateFiring},
+		ActiveAlert{Rule: "r", Kind: KindBurnRate, Severity: SevCritical, Since: 2, Value: 6.5, Dominant: "queue"})
+	if p := f.Pending(); p != nil {
+		t.Fatalf("Pending = %+v after firing", p)
+	}
+	a := f.Active()
+	if len(a) != 1 || a[0].Value != 6.5 || a[0].Dominant != "queue" {
+		t.Fatalf("Active = %+v, want value 6.5 dominant queue", a)
+	}
+	if names := f.ActiveNames(); len(names) != 1 || names[0] != "r" {
+		t.Fatalf("ActiveNames = %v", names)
+	}
+	if sev, ok := f.Worst(); !ok || sev != SevCritical {
+		t.Errorf("Worst = %v,%v, want critical", sev, ok)
+	}
+
+	// Resolved: both sets drain.
+	f.publish(Signal{T: 3, Rule: "r", Kind: KindBurnRate, State: StateResolved}, ActiveAlert{})
+	if f.Active() != nil || f.Pending() != nil {
+		t.Error("alert survived resolution")
+	}
+	if len(seen) != 3 {
+		t.Errorf("subscriber saw %d transitions, want 3", len(seen))
+	}
+}
+
+func TestSignalFeedNilSafety(t *testing.T) {
+	var f *SignalFeed
+	f.Subscribe(func(Signal) {}) // must not panic
+	if f.Active() != nil || f.ActiveNames() != nil || f.Pending() != nil {
+		t.Error("nil feed returned non-nil sets")
+	}
+	if _, ok := f.Worst(); ok {
+		t.Error("nil feed has a worst severity")
+	}
+}

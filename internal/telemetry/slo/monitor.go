@@ -330,7 +330,11 @@ func (m *Monitor) transition(r *Rule, a *Alert, t, value float64, st State) {
 			})
 		}
 	}
-	m.feed.publish(sig, ActiveAlert{Rule: r.Name, Severity: r.Severity, Since: t, Value: value})
+	at := ActiveAlert{Rule: r.Name, Kind: r.Kind, Severity: r.Severity, Since: t, Value: value}
+	if st == StateFiring && a.Cause != nil {
+		at.Dominant = a.Cause.Dominant
+	}
+	m.feed.publish(sig, at)
 }
 
 // compact enforces the resolved-alert retention cap.

@@ -87,11 +87,34 @@ go run ./cmd/alertstat -diff "$ART/alerts.json" "$ART/alerts.json" | grep -q 'fi
 # experiment itself.)
 echo "== ext-scale smoke"
 go run ./cmd/heroserve -exp ext-scale -format csv -seed 1 > "$ART/ext-scale.csv"
-for policy in static-full backlog occupancy kv-headroom hybrid-slo; do
+for policy in static-full backlog occupancy kv-headroom hybrid-slo alert-aware adaptive; do
 	grep -q ",$policy," "$ART/ext-scale.csv"
 done
 go run ./cmd/heroserve -exp ext-scale -format json -seed 1 > "$ART/ext-scale.json"
 python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['tables'][0]['rows']" "$ART/ext-scale.json"
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert any(r.get('policy')=='adaptive' for t in d['tables'] for r in t['rows'])" "$ART/ext-scale.json"
+
+# Closed-loop smoke: the adaptive meta-policy under the default SLO rules
+# must leave a ledger whose records name the active sub-law, and the alert
+# burst run must show alert-driven control (the ActiveAlerts signal is
+# consumed, not just recorded). Runtime switches, when present, must name
+# their driving signal in the decisionstat roll-up.
+echo "== closed-loop smoke"
+go run ./cmd/serve -trace "$ART/burst.json" -system heroserve -topology testbed \
+	-model opt-13b -seed 7 -autoscale -scale-policy adaptive \
+	-decisions-out "$ART/adaptive.json" -alerts-out "$ART/adaptive-alerts.json" > /dev/null
+go run ./cmd/decisionstat "$ART/adaptive.json" > "$ART/adaptive.txt"
+grep -q 'decision ledger:' "$ART/adaptive.txt"
+python3 - "$ART/adaptive.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+scale = d.get("scale") or []
+assert scale, "adaptive run produced no scale records"
+assert all(r.get("law") for r in scale), "meta-policy record without an active law"
+for r in scale:
+    if r.get("switch"):
+        assert r.get("switch_signal") in ("alert", "stage-share", "regret"), r
+PY
 
 # Golden-metrics gate: the pinned seed matrix must reproduce the checked-in
 # expositions byte for byte. On drift the per-case diffs land in the
