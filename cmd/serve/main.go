@@ -42,6 +42,7 @@ import (
 	"heroserve/internal/stats"
 	"heroserve/internal/telemetry"
 	"heroserve/internal/telemetry/critpath"
+	"heroserve/internal/telemetry/perf"
 	"heroserve/internal/telemetry/slo"
 	"heroserve/internal/topology"
 	"heroserve/internal/workload"
@@ -85,6 +86,9 @@ func main() {
 	daemon := flag.Bool("daemon", false, "serve /metrics /healthz /runs /trace over HTTP and stay up after the run")
 	listen := flag.String("listen", ":9090", "daemon listen address")
 	publishEvery := flag.Float64("publish-every", 5, "daemon metrics-snapshot cadence in simulated seconds")
+	perfOut := flag.String("perf-out", "", "write the simulator's self-profiling report (JSON; perfstat-readable) here")
+	perfEvery := flag.Int("perf-every", 0, "perf sampling stride: time every Nth event (0 = default)")
+	pprofFlag := flag.Bool("pprof", false, "daemon: expose net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	sysNames := strings.Split(*system, ",")
@@ -119,6 +123,12 @@ func main() {
 	}
 	if *maxRuns < 0 || *maxDecisions < 0 || *maxAlerts < 0 {
 		fatalf("retention caps must be >= 0")
+	}
+	if *pprofFlag && !*daemon {
+		fatalf("-pprof requires -daemon (it mounts on the daemon mux)")
+	}
+	if *perfEvery < 0 {
+		fatalf("-perf-every must be >= 0")
 	}
 	if *tracePath == "" {
 		fatalf("-trace required (use cmd/tracegen to produce one)")
@@ -224,10 +234,15 @@ func main() {
 	}
 
 	var srv *telemetry.Server
+	var perfPub *perf.Publisher
 	if *daemon {
 		srv = telemetry.NewServer()
 		srv.SetMaxRuns(*maxRuns)
 		slo.InstallAlerts(srv)
+		perfPub = perf.InstallPerf(srv)
+		if *pprofFlag {
+			perf.InstallPprof(srv)
+		}
 		if *traceOut != "" {
 			srv.SetTraceFile(*traceOut)
 		}
@@ -235,7 +250,11 @@ func main() {
 		if lerr != nil {
 			fatalf("daemon: %v", lerr)
 		}
-		fmt.Printf("daemon: serving /metrics /healthz /runs /decisions /alerts /trace on %s\n", ln.Addr())
+		endpoints := "/metrics /healthz /runs /decisions /alerts /trace /perf"
+		if *pprofFlag {
+			endpoints += " /debug/pprof/"
+		}
+		fmt.Printf("daemon: serving %s on %s\n", endpoints, ln.Addr())
 		go func() {
 			if serr := http.Serve(ln, srv); serr != nil {
 				fmt.Fprintf(os.Stderr, "serve: daemon http: %v\n", serr)
@@ -258,6 +277,7 @@ func main() {
 			netsimRef: *netsimRef, simRef: *simRef,
 			decisionsOut: *decisionsOut, alertsOut: *alertsOut,
 			slo: sloCfg, ledgerCap: *maxDecisions, push: push,
+			perfOut: *perfOut, perfEvery: *perfEvery, perfPub: perfPub,
 		})
 	}
 	if pusher != nil {
@@ -311,6 +331,9 @@ type runParams struct {
 	slo          *slo.Config
 	ledgerCap    int
 	push         *pushState
+	perfOut      string
+	perfEvery    int
+	perfPub      *perf.Publisher
 }
 
 // pushState carries the metrics pusher plus the failure count already
@@ -363,6 +386,13 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 		opts.SLO = p.slo
 		opts.LedgerCap = p.ledgerCap
 	}
+	// The performance observatory: one sampler per run (wall-clock state is
+	// run-scoped), armed whenever its output has somewhere to go.
+	var sampler *perf.Sampler
+	if p.perfOut != "" || p.perfPub != nil {
+		sampler = perf.NewSampler(p.perfEvery)
+		opts.Perf = sampler
+	}
 
 	var sys *serving.System
 	var plan *planner.Plan
@@ -394,6 +424,7 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 				srv.PublishHub(hub)
 				publishDecisions(srv, sys)
 				publishAlerts(srv, sys)
+				publishPerf(p.perfPub, sampler, name)
 			})
 		}
 	}
@@ -464,6 +495,21 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 				len(log.Alerts), len(log.Meta.Rules), p.alertsOut)
 		}
 	}
+	if sampler != nil {
+		r := sampler.Report(name)
+		fmt.Printf("perf: %.3g events/s, %.4g wall-seconds per sim-second; engine=%.0f%% serve=%.0f%% realloc=%.0f%% self=%.1f%%\n",
+			r.EventsPerSec, r.WallPerSim,
+			phasePct(r, r.Phases.EngineSeconds), phasePct(r, r.Phases.ServeSeconds),
+			phasePct(r, r.Phases.ReallocSeconds), phasePct(r, r.Phases.SelfSeconds))
+		if p.perfOut != "" {
+			if err := exportFile(p.perfOut, r.WriteJSON); err != nil {
+				fatalf("perf export: %v", err)
+			}
+			fmt.Printf("wrote perf report (%d events sampled 1-in-%d) to %s\n",
+				r.Events, r.SampleEvery, p.perfOut)
+		}
+		publishPerf(p.perfPub, sampler, name)
+	}
 	if p.push != nil {
 		p.push.sync(hub)
 	}
@@ -492,6 +538,26 @@ func runSystem(name string, in planner.Inputs, trace *workload.Trace, hub *telem
 				"Telemetry records dropped by retention caps, by kind.",
 				[]string{"kind"}, "run").Add(float64(evicted))
 		}
+	}
+}
+
+// phasePct renders one phase's share of the report's wall time in percent.
+func phasePct(r *perf.Report, seconds float64) float64 {
+	if r.WallSeconds <= 0 {
+		return 0
+	}
+	return seconds / r.WallSeconds * 100
+}
+
+// publishPerf renders the run's current perf report for the daemon's /perf
+// endpoint. Like PublishHub it runs on the simulation goroutine; mid-run
+// calls publish a live in-flight snapshot.
+func publishPerf(pub *perf.Publisher, sampler *perf.Sampler, system string) {
+	if pub == nil || sampler == nil {
+		return
+	}
+	if err := pub.Publish(sampler.Report(system)); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: perf publish: %v\n", err)
 	}
 }
 

@@ -92,6 +92,8 @@ type Network struct {
 
 	tel *netTelemetry // nil when telemetry is off
 
+	perf PerfProbe // nil when self-profiling is off
+
 	// Fast-path scratch, allocated once at New and epoch-stamped instead of
 	// cleared, so reallocation does not allocate. All indexed by edge id.
 	epoch     uint64
@@ -115,6 +117,21 @@ type netTelemetry struct {
 	linkBusy  []*telemetry.Counter // seconds with >=1 active flow, per edge
 	linkBytes []*telemetry.Counter // bytes serialized, per edge
 }
+
+// PerfProbe observes water-filling reallocations for the performance
+// observatory (internal/telemetry/perf). ReallocStart runs just before a
+// recomputation and may return a wall-clock token (0 = don't time this one);
+// ReallocDone receives the token back along with the work actually done:
+// links and flows in the recomputed component and the number of
+// progressive-filling rounds (bottleneck freezes) the fixed point took. The
+// probe is a pure observer — it cannot change rates, schedules, or ordering.
+type PerfProbe interface {
+	ReallocStart() int64
+	ReallocDone(token int64, links, flows, rounds int)
+}
+
+// SetPerf installs (or, with nil, removes) the reallocation probe.
+func (n *Network) SetPerf(p PerfProbe) { n.perf = p }
 
 // SetTelemetry arms flow and per-link metrics on the hub's registry.
 func (n *Network) SetTelemetry(h *telemetry.Hub) {
@@ -428,7 +445,14 @@ func (n *Network) reallocate(dirty []topology.EdgeID) {
 		return
 	}
 	if n.ref {
-		n.refWaterfill()
+		var tok int64
+		if n.perf != nil {
+			tok = n.perf.ReallocStart()
+		}
+		links, flows, rounds := n.refWaterfill()
+		if n.perf != nil {
+			n.perf.ReallocDone(tok, links, flows, rounds)
+		}
 		now := n.eng.Now()
 		for _, f := range n.orderedFlows() {
 			if f.finish != nil {
@@ -444,7 +468,14 @@ func (n *Network) reallocate(dirty []topology.EdgeID) {
 		}
 		return
 	}
-	n.waterfillComponent(dirty)
+	var tok int64
+	if n.perf != nil {
+		tok = n.perf.ReallocStart()
+	}
+	links, flows, rounds := n.waterfillComponent(dirty)
+	if n.perf != nil {
+		n.perf.ReallocDone(tok, links, flows, rounds)
+	}
 	now := n.eng.Now()
 	for _, f := range n.order {
 		if f.finish != nil {
@@ -462,8 +493,9 @@ func (n *Network) reallocate(dirty []topology.EdgeID) {
 // refWaterfill is the reference allocator: a global progressive
 // water-filling fixed point over every link and flow, rebuilt from scratch
 // (fresh slices, a frozen map, a full edge scan per bottleneck round) on
-// each reallocation.
-func (n *Network) refWaterfill() {
+// each reallocation. It reports the work done — loaded links, flows, and
+// bottleneck rounds — for the perf probe.
+func (n *Network) refWaterfill() (nLinks, nFlows, rounds int) {
 	// Remaining capacity per link and unfrozen flow count per link, indexed
 	// by edge id so the bottleneck scan below is deterministic (ties go to
 	// the lowest edge id; a map here would break same-seed reproducibility).
@@ -475,8 +507,10 @@ func (n *Network) refWaterfill() {
 		}
 		capLeft[eid] = n.effectiveCapacity(topology.EdgeID(eid))
 		count[eid] = len(fl)
+		nLinks++
 	}
 	frozen := make(map[FlowID]bool, len(n.flows))
+	nFlows = len(n.flows)
 
 	for len(frozen) < len(n.flows) {
 		// Find the most constrained link: min fair share among links that
@@ -498,6 +532,7 @@ func (n *Network) refWaterfill() {
 			// which cannot happen here) — freeze the rest at infinity guard.
 			break
 		}
+		rounds++
 		// Freeze every unfrozen flow on the bottleneck link at the share.
 		for _, f := range n.linkFlows[bestLink] {
 			if frozen[f.ID] {
@@ -514,6 +549,7 @@ func (n *Network) refWaterfill() {
 			}
 		}
 	}
+	return nLinks, nFlows, rounds
 }
 
 // waterfillComponent is the fast allocator. Max-min rates decompose over
@@ -524,8 +560,11 @@ func (n *Network) refWaterfill() {
 // iteration orders over the same slices, hence bit-identical arithmetic —
 // restricted to that component. Flows elsewhere keep their previously
 // computed (still exact) rates. Scratch is epoch-stamped: no clearing, no
-// allocation once the slices have grown to the component's size.
-func (n *Network) waterfillComponent(dirty []topology.EdgeID) {
+// allocation once the slices have grown to the component's size. It reports
+// the component's size — links, flows, bottleneck rounds — for the perf
+// probe; the distribution of these is exactly what quantifies how much work
+// the incremental path avoids versus the reference's global recomputation.
+func (n *Network) waterfillComponent(dirty []topology.EdgeID) (nLinks, nFlows, rounds int) {
 	n.epoch++
 	ep := n.epoch
 	links := n.compLinks[:0]
@@ -560,6 +599,8 @@ func (n *Network) waterfillComponent(dirty []topology.EdgeID) {
 	}
 	n.compLinks = links // keep grown capacity for reuse
 	n.linkQueue = queue[:0]
+	nLinks = len(links)
+	nFlows = compFlows
 
 	frozen := 0
 	for frozen < compFlows {
@@ -583,6 +624,7 @@ func (n *Network) waterfillComponent(dirty []topology.EdgeID) {
 		if bestLink < 0 {
 			break
 		}
+		rounds++
 		for _, f := range n.linkFlows[bestLink] {
 			if f.frozenEpoch == ep {
 				continue
@@ -599,6 +641,7 @@ func (n *Network) waterfillComponent(dirty []topology.EdgeID) {
 			}
 		}
 	}
+	return nLinks, nFlows, rounds
 }
 
 // finishFlow handles a serialization-complete event: account the final

@@ -19,6 +19,7 @@ import (
 	"heroserve/internal/telemetry"
 	"heroserve/internal/telemetry/critpath"
 	"heroserve/internal/telemetry/decisions"
+	"heroserve/internal/telemetry/perf"
 	"heroserve/internal/telemetry/slo"
 	"heroserve/internal/topology"
 )
@@ -260,6 +261,14 @@ type Options struct {
 	// LedgerCap bounds the decision ledger to the newest N records per kind
 	// (0 = unbounded); evictions bump telemetry_evictions_total{kind}.
 	LedgerCap int
+
+	// Perf, when non-nil, arms the performance observatory on this run: the
+	// sampler is installed as the engine's profiler and netsim's realloc
+	// probe, and (when Telemetry is also armed) emits Perfetto counter
+	// tracks. It is a pure wall-clock observer — simulated results and every
+	// golden surface are byte-identical with or without it. Use one Sampler
+	// per run.
+	Perf *perf.Sampler
 
 	// ReferenceNetsim selects the reference (global, allocating)
 	// water-filling allocator instead of the incremental fast path. Output

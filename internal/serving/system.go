@@ -168,6 +168,11 @@ func New(g *topology.Graph, dep Deployment, opts Options) (*System, error) {
 		s.inj = faults.NewInjector(s.net, s.comm)
 		s.inj.Arm(*opts.Faults)
 	}
+	if opts.Perf != nil {
+		opts.Perf.BindEngine(eng)
+		eng.SetProfiler(opts.Perf)
+		net.SetPerf(opts.Perf)
+	}
 	if opts.Telemetry != nil {
 		s.attachTelemetry(opts.Telemetry)
 	}
@@ -207,6 +212,11 @@ func (s *System) attachTelemetry(h *telemetry.Hub) {
 	s.shares = critpath.NewShareTracker(0)
 	s.crit.Analyzer.OnFinalize(s.shares.Observe)
 	h.Attach(s.eng.Now, s.opts.Policy.Name())
+	if s.opts.Perf != nil {
+		// Counter tracks land on the control thread of this run's trace
+		// process, beside the policy and autoscale instants.
+		s.opts.Perf.BindTrace(h.Trace, telemetry.ControlTID)
+	}
 	s.net.SetTelemetry(h)
 	s.comm.SetTelemetry(h)
 	if s.inj != nil {
@@ -440,7 +450,13 @@ func (s *System) Run(trace *workload.Trace) *Results {
 		}
 		tick()
 	}
+	if s.opts.Perf != nil {
+		s.opts.Perf.Start(s.eng.Now())
+	}
 	s.eng.Run()
+	if s.opts.Perf != nil {
+		s.opts.Perf.Finish(s.eng.Now())
+	}
 
 	res := &Results{
 		PolicyName: s.opts.Policy.Name(),

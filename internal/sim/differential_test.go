@@ -22,11 +22,11 @@ import (
 // same-timestamp scheduling exercises the FIFO tie-break.
 
 type scriptNode struct {
-	rootAt   Time    // absolute schedule time (roots only)
-	delay    Time    // After() delay when scheduled as a child
-	daemon   bool    // scheduled via the daemon variants
-	children []int   // node ids scheduled from this node's callback
-	cancels  int     // node id whose event to cancel from the callback; -1 none
+	rootAt   Time  // absolute schedule time (roots only)
+	delay    Time  // After() delay when scheduled as a child
+	daemon   bool  // scheduled via the daemon variants
+	children []int // node ids scheduled from this node's callback
+	cancels  int   // node id whose event to cancel from the callback; -1 none
 	isRoot   bool
 }
 

@@ -105,12 +105,54 @@ type front interface {
 	// remove is told that the (still queued) event was just cancelled. The
 	// reference front deletes it eagerly; the fast front leaves a tombstone.
 	remove(*Event)
+	// stats snapshots the queue's internal occupancy for the perf
+	// observatory. Read-only; never mutates the queue.
+	stats() QueueStats
+}
+
+// QueueStats is a point-in-time snapshot of the event queue's internals, the
+// raw material of the performance observatory (internal/telemetry/perf). On
+// the reference heap the window fields are zero and every queued event counts
+// as a far event; tombstone and compaction fields are wheel-only by
+// construction (the heap removes eagerly).
+type QueueStats struct {
+	// Live is the number of queued, not-cancelled events.
+	Live int
+	// Tombstones is the number of cancelled events still occupying queue
+	// slots (lazy cancellation, wheel front only).
+	Tombstones int
+	// Cancelled counts every cancellation the front has absorbed.
+	Cancelled uint64
+	// Compactions counts tombstone-compaction passes (wheel front only).
+	Compactions uint64
+	// WindowEvents is the number of events (tombstones included) resident in
+	// the near-future window: the current sorted run plus its buckets.
+	WindowEvents int
+	// FarEvents is the number of events in the far-future heap.
+	FarEvents int
+	// BucketsOccupied is the number of non-empty undrained window buckets.
+	BucketsOccupied int
+	// MaxBucket is the largest undrained bucket's event count.
+	MaxBucket int
+}
+
+// Profiler receives the engine's self-profiling callbacks. BeginEvent runs
+// after an event is popped (the clock already advanced) and immediately
+// before its callback; the token it returns is handed to EndEvent right
+// after the callback returns. Implementations decide internally how often to
+// pay for wall-clock reads — returning token 0 marks the event as unsampled.
+// The engine's simulated behavior is completely independent of the profiler:
+// it schedules nothing, cancels nothing, and observes the queue read-only.
+type Profiler interface {
+	BeginEvent(at Time) int64
+	EndEvent(token int64)
 }
 
 // heapFront is the reference queue: a binary heap with eager O(log n)
 // removal on Cancel. It never holds tombstones.
 type heapFront struct {
-	q eventQueue
+	q         eventQueue
+	cancelled uint64
 }
 
 func (f *heapFront) push(e *Event) { heap.Push(&f.q, e) }
@@ -138,6 +180,15 @@ func (f *heapFront) peek() *Event {
 func (f *heapFront) remove(e *Event) {
 	heap.Remove(&f.q, e.index)
 	e.index = -1
+	f.cancelled++
+}
+
+func (f *heapFront) stats() QueueStats {
+	return QueueStats{
+		Live:      len(f.q),
+		Cancelled: f.cancelled,
+		FarEvents: len(f.q),
+	}
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
@@ -153,6 +204,9 @@ type Engine struct {
 	// work counts queued non-daemon events: the events that represent real
 	// simulated activity rather than periodic housekeeping.
 	work int
+	// prof, when non-nil, brackets every executed event callback. It is a
+	// pure observer: the simulated schedule is identical with or without it.
+	prof Profiler
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue,
@@ -168,6 +222,15 @@ func NewEngine() *Engine {
 func NewReferenceEngine() *Engine {
 	return &Engine{front: &heapFront{}}
 }
+
+// SetProfiler installs (or, with nil, removes) the engine's self-profiling
+// observer. The profiler sees every executed event but cannot influence the
+// simulation: determinism of the event order is untouched.
+func (e *Engine) SetProfiler(p Profiler) { e.prof = p }
+
+// QueueStats snapshots the event queue's internal occupancy. It is read-only
+// and safe to call at any point, including from a Profiler callback.
+func (e *Engine) QueueStats() QueueStats { return e.front.stats() }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -249,7 +312,13 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.at
 	e.processed++
+	if e.prof == nil {
+		ev.fn()
+		return true
+	}
+	tok := e.prof.BeginEvent(ev.at)
 	ev.fn()
+	e.prof.EndEvent(tok)
 	return true
 }
 

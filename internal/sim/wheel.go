@@ -51,6 +51,9 @@ type wheelFront struct {
 	live       int // queued, not cancelled
 	tombstones int // queued, cancelled, not yet discarded
 
+	cancelled   uint64 // lifetime count of remove() calls
+	compactions uint64 // lifetime count of compact() passes
+
 	// gapEWMA tracks the smoothed gap between consecutive popped timestamps;
 	// it sets the bucket width at the next window rebuild.
 	gapEWMA  float64
@@ -239,9 +242,33 @@ func (f *wheelFront) remove(e *Event) {
 	// Lazy: e.cancel is already set; leave the tombstone where it is.
 	f.live--
 	f.tombstones++
+	f.cancelled++
 	if f.tombstones > 64 && f.tombstones > f.live {
 		f.compact()
 	}
+}
+
+func (f *wheelFront) stats() QueueStats {
+	st := QueueStats{
+		Live:         f.live,
+		Tombstones:   f.tombstones,
+		Cancelled:    f.cancelled,
+		Compactions:  f.compactions,
+		WindowEvents: len(f.run) - f.runPos,
+		FarEvents:    len(f.far),
+	}
+	for i := f.curBucket; i < wheelBuckets; i++ {
+		n := len(f.buckets[i])
+		if n == 0 {
+			continue
+		}
+		st.WindowEvents += n
+		st.BucketsOccupied++
+		if n > st.MaxBucket {
+			st.MaxBucket = n
+		}
+	}
+	return st
 }
 
 // compact drops every tombstone in place, preserving the current window:
@@ -251,6 +278,7 @@ func (f *wheelFront) remove(e *Event) {
 // reschedule it at a nearby time) triggers compaction constantly, and a
 // window rebuild on each would cost more than the eager reference removes.
 func (f *wheelFront) compact() {
+	f.compactions++
 	w := f.runPos
 	for i := f.runPos; i < len(f.run); i++ {
 		e := f.run[i]

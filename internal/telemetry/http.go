@@ -163,8 +163,10 @@ func (s *Server) SetTraceFile(path string) {
 
 // Handle registers a custom route consulted before the 404 fallback —
 // how packages layered above telemetry (e.g. internal/telemetry/slo's
-// /alerts handler) extend the daemon without an import cycle. Register
-// before serving; built-in routes cannot be overridden.
+// /alerts handler) extend the daemon without an import cycle. A path ending
+// in "/" is a prefix route: it matches itself and everything below it
+// (longest prefix wins), which is what subtree handlers like net/http/pprof
+// need. Register before serving; built-in routes cannot be overridden.
 func (s *Server) Handle(path string, h http.Handler) {
 	s.mu.Lock()
 	if s.handlers == nil {
@@ -172,6 +174,24 @@ func (s *Server) Handle(path string, h http.Handler) {
 	}
 	s.handlers[path] = h
 	s.mu.Unlock()
+}
+
+// lookupHandler resolves a request path against the custom routes: exact
+// match first, then the longest registered "/"-terminated prefix.
+func (s *Server) lookupHandler(path string) http.Handler {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if h, ok := s.handlers[path]; ok {
+		return h
+	}
+	var best string
+	var bestH http.Handler
+	for p, h := range s.handlers {
+		if strings.HasSuffix(p, "/") && strings.HasPrefix(path, p) && len(p) > len(best) {
+			best, bestH = p, h
+		}
+	}
+	return bestH
 }
 
 // ServeHTTP routes the daemon's endpoints.
@@ -190,10 +210,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/trace":
 		s.serveTrace(w)
 	default:
-		s.mu.RLock()
-		h := s.handlers[r.URL.Path]
-		s.mu.RUnlock()
-		if h != nil {
+		if h := s.lookupHandler(r.URL.Path); h != nil {
 			h.ServeHTTP(w, r)
 			return
 		}

@@ -1,0 +1,64 @@
+package perf
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"heroserve/internal/telemetry"
+)
+
+// Publisher owns the /perf endpoint's payload. Like the daemon's other
+// endpoints it serves immutable snapshots: the simulation goroutine renders
+// a Report at a safe point and hands it over via Publish; scrapers read the
+// latest snapshot under a read lock and can never race the event loop.
+type Publisher struct {
+	mu   sync.RWMutex
+	body []byte
+}
+
+// Publish renders r and makes it the endpoint's current payload.
+func (p *Publisher) Publish(r *Report) error {
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.body = buf.Bytes()
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *Publisher) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.RLock()
+	body := p.body
+	p.mu.RUnlock()
+	if len(body) == 0 {
+		http.Error(w, "no perf report published yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(body)
+}
+
+// InstallPerf registers the /perf endpoint on the daemon server and returns
+// the Publisher the simulation loop feeds. Mirrors slo.InstallAlerts: the
+// layered package extends the server without telemetry importing it.
+func InstallPerf(srv *telemetry.Server) *Publisher {
+	p := &Publisher{}
+	srv.Handle("/perf", p)
+	return p
+}
+
+// InstallPprof mounts net/http/pprof's handlers under /debug/pprof/ on the
+// daemon server. It is deliberately opt-in (the serve -pprof flag): pprof
+// exposes stack traces, command lines, and CPU/heap profiles, which a
+// metrics endpoint's audience should not get by default.
+func InstallPprof(srv *telemetry.Server) {
+	srv.Handle("/debug/pprof/", http.HandlerFunc(pprof.Index))
+	srv.Handle("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+	srv.Handle("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+	srv.Handle("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+	srv.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+}

@@ -1,0 +1,213 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"heroserve/internal/sim"
+)
+
+// Schema identifies the perf report's JSON layout; bump on incompatible
+// change so perfstat can reject files it does not understand.
+const Schema = "heroserve-perf/1"
+
+// Phases is the per-phase wall-clock split of one run. Engine covers the
+// event loop and queue operations; Serve the simulation callbacks minus
+// water-filling; Realloc the water-filling fixed points; Self the
+// observatory's own tax (sampling boundaries, counter tracks). Engine and
+// Serve are scaled estimates from the sampled event subset; Realloc from the
+// sampled reallocation subset; Self is measured directly.
+type Phases struct {
+	EngineSeconds  float64 `json:"engine_seconds"`
+	ServeSeconds   float64 `json:"serve_seconds"`
+	ReallocSeconds float64 `json:"realloc_seconds"`
+	SelfSeconds    float64 `json:"self_seconds"`
+	// SelfFraction is SelfSeconds over total wall: the observatory's
+	// measured share of the run it was observing.
+	SelfFraction float64 `json:"self_fraction"`
+}
+
+// QueueReport combines the final event-queue snapshot with the high-water
+// marks observed at sample boundaries across the run.
+type QueueReport struct {
+	Final          sim.QueueStats `json:"final"`
+	PeakLive       int            `json:"peak_live"`
+	PeakTombstones int            `json:"peak_tombstones"`
+	PeakWindow     int            `json:"peak_window_events"`
+	PeakFar        int            `json:"peak_far_events"`
+	PeakBucket     int            `json:"peak_bucket_events"`
+}
+
+// HistBucket is one bucket of the component-size histogram: Count
+// reallocations touched a component of at most Le flows (the last bucket is
+// the ≥ overflow).
+type HistBucket struct {
+	Le    int    `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// NetsimReport summarizes the water-filling work the run performed. The
+// component-size distribution is the observatory's headline for the
+// incremental allocator: the further its mass sits below the active flow
+// count, the more work the fast path avoided versus a global recomputation.
+type NetsimReport struct {
+	Reallocs        uint64       `json:"reallocs"`
+	SampledReallocs uint64       `json:"sampled_reallocs"`
+	CompLinksTotal  uint64       `json:"component_links_total"`
+	CompFlowsTotal  uint64       `json:"component_flows_total"`
+	RoundsTotal     uint64       `json:"rounds_total"`
+	MeanCompFlows   float64      `json:"mean_component_flows"`
+	MaxCompFlows    int          `json:"max_component_flows"`
+	MaxCompLinks    int          `json:"max_component_links"`
+	MeanRounds      float64      `json:"mean_rounds"`
+	FlowsHistogram  []HistBucket `json:"flows_histogram"`
+}
+
+// Report is one run's rendered perf observation: the -perf-out document, the
+// /perf payload, and perfstat's input. All wall-clock derived fields are
+// nondeterministic by nature, which is why the report lives strictly outside
+// every golden surface.
+type Report struct {
+	Schema        string  `json:"schema"`
+	System        string  `json:"system,omitempty"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	SimSeconds    float64 `json:"sim_seconds"`
+	WallPerSim    float64 `json:"wall_per_sim_second"`
+	Events        uint64  `json:"events"`
+	SampledEvents uint64  `json:"sampled_events"`
+	SampleEvery   int     `json:"sample_every"`
+	EventsPerSec  float64 `json:"events_per_second"`
+
+	Phases   Phases          `json:"phases"`
+	Queue    QueueReport     `json:"queue"`
+	Netsim   NetsimReport    `json:"netsim"`
+	Progress []ProgressPoint `json:"progress"`
+}
+
+// Report renders the sampler's accumulated state. system labels the report
+// (e.g. the CLI system id). Calling it before Finish renders an in-flight
+// report against the current wall clock and sim-time — that is how the
+// daemon's /perf endpoint publishes live mid-run snapshots.
+func (s *Sampler) Report(system string) *Report {
+	wallEnd, simEnd := s.wallEnd, s.simEnd
+	if wallEnd == 0 { // not finished: snapshot now
+		wallEnd = s.now()
+		simEnd = s.simNow
+	}
+	wallNS := wallEnd - s.wallStart
+	if wallNS < 0 {
+		wallNS = 0
+	}
+	wall := float64(wallNS) / 1e9
+	simAdv := simEnd - s.simStart
+	r := &Report{
+		Schema:        Schema,
+		System:        system,
+		WallSeconds:   wall,
+		SimSeconds:    simAdv,
+		Events:        s.events,
+		SampledEvents: s.sampledEvents,
+		SampleEvery:   s.every,
+	}
+	if simAdv > 0 {
+		r.WallPerSim = wall / simAdv
+	}
+	if wall > 0 {
+		r.EventsPerSec = float64(s.events) / wall
+	}
+
+	// Phase split by scaled estimation. The sampled subset's mean callback
+	// cost extrapolates to all events; likewise for reallocations. What is
+	// left of the wall after callbacks and the observatory's own measured
+	// time is the engine: queue operations plus loop bookkeeping.
+	var callbackNS, reallocNS float64
+	if s.sampledEvents > 0 {
+		callbackNS = float64(s.sampledFnNS) / float64(s.sampledEvents) * float64(s.events)
+	}
+	if s.sampledReallocs > 0 {
+		reallocNS = float64(s.sampledReallocNS) / float64(s.sampledReallocs) * float64(s.reallocs)
+	}
+	if reallocNS > callbackNS {
+		reallocNS = callbackNS // estimates crossed; realloc runs inside callbacks
+	}
+	selfNS := float64(s.selfNS)
+	// Clamp the callback estimate into the measured wall: on short runs the
+	// per-sample clock-read overhead rides inside the sampled callback times
+	// and can inflate the extrapolation past 100%. The phases always
+	// partition the wall exactly.
+	if callbackNS+selfNS > float64(wallNS) {
+		callbackNS = float64(wallNS) - selfNS
+		if callbackNS < 0 {
+			callbackNS = 0
+		}
+		if reallocNS > callbackNS {
+			reallocNS = callbackNS
+		}
+	}
+	engineNS := float64(wallNS) - callbackNS - selfNS
+	if engineNS < 0 {
+		engineNS = 0
+	}
+	r.Phases = Phases{
+		EngineSeconds:  engineNS / 1e9,
+		ServeSeconds:   (callbackNS - reallocNS) / 1e9,
+		ReallocSeconds: reallocNS / 1e9,
+		SelfSeconds:    selfNS / 1e9,
+	}
+	if wall > 0 {
+		r.Phases.SelfFraction = r.Phases.SelfSeconds / wall
+	}
+
+	r.Queue = QueueReport{
+		PeakLive:       s.peakLive,
+		PeakTombstones: s.peakTombstones,
+		PeakWindow:     s.peakWindow,
+		PeakFar:        s.peakFar,
+		PeakBucket:     s.peakBucket,
+	}
+	if s.eng != nil {
+		r.Queue.Final = s.eng.QueueStats()
+	}
+
+	n := NetsimReport{
+		Reallocs:        s.reallocs,
+		SampledReallocs: s.sampledReallocs,
+		CompLinksTotal:  s.compLinks,
+		CompFlowsTotal:  s.compFlows,
+		RoundsTotal:     s.compRounds,
+		MaxCompFlows:    s.maxCompFlows,
+		MaxCompLinks:    s.maxCompLinks,
+	}
+	if s.reallocs > 0 {
+		n.MeanCompFlows = float64(s.compFlows) / float64(s.reallocs)
+		n.MeanRounds = float64(s.compRounds) / float64(s.reallocs)
+	}
+	n.FlowsHistogram = make([]HistBucket, 0, flowHistBuckets)
+	for i, c := range s.flowHist {
+		n.FlowsHistogram = append(n.FlowsHistogram, HistBucket{Le: 1 << i, Count: c})
+	}
+	r.Netsim = n
+
+	r.Progress = append([]ProgressPoint(nil), s.points...)
+	return r
+}
+
+// WriteJSON writes the report as indented JSON, the -perf-out format.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses and validates one perf report document.
+func ReadReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: bad report: %w", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("perf: unknown schema %q (want %q)", r.Schema, Schema)
+	}
+	return &r, nil
+}

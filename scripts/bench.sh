@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Committed benchmark harness for the simulator fast paths.
 #
-#   scripts/bench.sh run     # run the pinned benchmarks, write BENCH_6.json
-#   scripts/bench.sh check   # quick re-run; WARN (exit 0) when ns/op has
-#                            # regressed >20% against the committed
-#                            # BENCH_6.json — a tripwire, not a gate, since
-#                            # shared CI runners make absolute timings noisy
+#   scripts/bench.sh run     # run the pinned benchmarks, write BENCH_10.json
+#   scripts/bench.sh check   # quick re-run; compares against the NEWEST
+#                            # committed BENCH_*.json, prints a TSV delta
+#                            # table, and WARNs (exit 0) when ns/op regressed
+#                            # >20% — a tripwire, not a gate, since shared CI
+#                            # runners make absolute timings noisy.
+#                            # BENCH_STRICT=1 turns >35% regressions into a
+#                            # nonzero exit.
 #
-# The pinned set covers the two tentpole fast paths against their reference
+# The pinned set covers the tentpole fast paths against their reference
 # implementations:
 #   - netsim reallocation at 10/100/1000 concurrent flows (incremental
 #     component water-filling vs global fixed point), ns/op + allocs/op +
@@ -16,9 +19,14 @@
 #   - engine event-queue primitives (timer wheel vs binary heap): steady
 #     schedule/step and the cancel/reschedule storm netsim generates
 #   - one end-to-end serve run on both paths
+#   - the 100k-request stress scenario, bare and with the performance
+#     observatory armed; their ns/op ratio is the sampler's measured
+#     overhead (perf_sampler_overhead_frac, budget 2%)
 #
 # Overridables: BENCH_TIME (go -benchtime for micro benches), BENCH_E2E_TIME
-# (e2e serve iterations), BENCH_OUT (output path).
+# (e2e serve iterations), BENCH_STRESS_TIME (stress iterations), BENCH_OUT
+# (output path), BENCH_SKIP_STRESS=1 (skip the ~30s stress pair),
+# BENCH_STRICT=1 (check mode fails on >35% ns/op regressions).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,13 +36,27 @@ if [[ "$mode" != "run" && "$mode" != "check" ]]; then
 	exit 2
 fi
 
-OUT="${BENCH_OUT:-BENCH_6.json}"
+OUT="${BENCH_OUT:-BENCH_10.json}"
 benchtime="${BENCH_TIME:-1s}"
 e2etime="${BENCH_E2E_TIME:-3x}"
+# The committed trajectory point averages 3 stress iterations (~40s): the
+# sampler-overhead fraction is a difference of two large wall times, and a
+# single iteration's scheduler noise can swamp the <2% signal. check mode
+# keeps the quick single-iteration pass.
+stresstime="${BENCH_STRESS_TIME:-3x}"
 if [[ "$mode" == "check" ]]; then
 	benchtime="${BENCH_TIME:-0.3s}"
 	e2etime="${BENCH_E2E_TIME:-2x}"
+	stresstime="${BENCH_STRESS_TIME:-1x}"
 fi
+
+# The comparison baseline is the newest committed BENCH_*.json (numeric
+# sort): each growth PR that moves performance pins a new trajectory point
+# and older files stay in place as history.
+newest_baseline() {
+	ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1
+}
+BASE="$(newest_baseline || true)"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -48,8 +70,14 @@ go test -run '^$' -bench 'BenchmarkEngineScheduleStep|BenchmarkEngineCancelResch
 echo "bench: end-to-end serve (benchtime $e2etime)" >&2
 go test -run '^$' -bench 'BenchmarkEndToEndServe(Ref)?$' \
 	-benchtime "$e2etime" . | tee -a "$raw"
+if [[ "${BENCH_SKIP_STRESS:-0}" != "1" ]]; then
+	echo "bench: stress serve 100k requests (benchtime $stresstime)" >&2
+	go test -run '^$' -bench 'BenchmarkStressServe(Perf)?$' \
+		-benchtime "$stresstime" . | tee -a "$raw"
+fi
 
-export BENCH_MODE="$mode" BENCH_JSON="$OUT" GO_VERSION="$(go version)"
+export BENCH_MODE="$mode" BENCH_JSON="$OUT" BENCH_BASE="$BASE" \
+	BENCH_STRICT="${BENCH_STRICT:-0}" GO_VERSION="$(go version)"
 python3 - "$raw" <<'PYEOF'
 import json, os, sys
 
@@ -84,44 +112,69 @@ if fast and ref:
 fast, ref = ns("BenchmarkEndToEndServe"), ns("BenchmarkEndToEndServeRef")
 if fast and ref:
     derived["end_to_end_serve_speedup"] = round(ref / fast, 3)
+bare, armed = ns("BenchmarkStressServe"), ns("BenchmarkStressServePerf")
+if bare and armed:
+    frac = max(armed / bare - 1.0, 0.0)
+    derived["perf_sampler_overhead_frac"] = round(frac, 4)
+    if frac > 0.02:
+        print(f"bench: WARNING perf sampler overhead {frac:.1%} exceeds the "
+              "2% budget", file=sys.stderr)
+stress = results.get("BenchmarkStressServe")
+if stress and "events_per_s" in stress:
+    derived["stress_events_per_sec"] = round(stress["events_per_s"], 1)
 
 doc = {
     "_comment": "Committed by scripts/bench.sh run; scripts/bench.sh check "
-                "warns when ns_per_op regresses >20% against this file.",
+                "compares the newest committed BENCH_*.json and warns when "
+                "ns_per_op regresses >20% (BENCH_STRICT=1 fails on >35%).",
     "go": os.environ.get("GO_VERSION", ""),
     "results": results,
     "derived": derived,
 }
 
 mode = os.environ.get("BENCH_MODE", "run")
-out = os.environ.get("BENCH_JSON", "BENCH_6.json")
+out = os.environ.get("BENCH_JSON", "BENCH_10.json")
 if mode == "run":
     with open(out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"bench: wrote {out}")
     for k, v in sorted(derived.items()):
-        print(f"bench: {k} = {v}x")
+        print(f"bench: {k} = {v}")
     sys.exit(0)
 
-# check: warn-only comparison against the committed baseline.
-if not os.path.exists(out):
-    print(f"bench: WARNING no committed {out} to compare against", file=sys.stderr)
+# check: delta table against the newest committed baseline.
+base_path = os.environ.get("BENCH_BASE", "")
+if not base_path or not os.path.exists(base_path):
+    print("bench: WARNING no committed BENCH_*.json to compare against",
+          file=sys.stderr)
     sys.exit(0)
-base = json.load(open(out))["results"]
-regressed = []
+base = json.load(open(base_path))["results"]
+strict = os.environ.get("BENCH_STRICT", "0") == "1"
+warned, failed = [], []
+print(f"bench: delta table vs {base_path} (TSV)")
+print("name\tbase_ns\tcur_ns\tratio\tstatus")
 for name, entry in sorted(results.items()):
     b = base.get(name)
     if not b or "ns_per_op" not in b or "ns_per_op" not in entry:
+        print(f"{name}\t-\t{entry.get('ns_per_op', float('nan')):.0f}\t-\tnew")
         continue
     ratio = entry["ns_per_op"] / b["ns_per_op"]
     status = "ok"
-    if ratio > 1.20:
+    if ratio > 1.35:
+        status = "FAIL" if strict else "REGRESSED"
+        (failed if strict else warned).append((name, ratio))
+    elif ratio > 1.20:
         status = "REGRESSED"
-        regressed.append((name, ratio))
-    print(f"bench: {status} {name}: {entry['ns_per_op']:.0f} ns/op vs committed {b['ns_per_op']:.0f} ({ratio:.2f}x)")
-for name, ratio in regressed:
-    print(f"bench: WARNING {name} ns/op regressed {ratio:.2f}x vs committed {out}", file=sys.stderr)
-if not regressed:
+        warned.append((name, ratio))
+    print(f"{name}\t{b['ns_per_op']:.0f}\t{entry['ns_per_op']:.0f}\t{ratio:.3f}\t{status}")
+for name, ratio in warned + failed:
+    print(f"bench: WARNING {name} ns/op regressed {ratio:.2f}x vs {base_path}",
+          file=sys.stderr)
+if failed:
+    print(f"bench: FAIL {len(failed)} benchmark(s) regressed >35% with "
+          "BENCH_STRICT=1", file=sys.stderr)
+    sys.exit(1)
+if not warned:
     print("bench: no ns/op regressions >20% vs committed baseline")
 PYEOF

@@ -116,6 +116,20 @@ for r in scale:
         assert r.get("switch_signal") in ("alert", "stage-share", "regret"), r
 PY
 
+# Perf-observatory smoke: a run with the self-profiler armed must export a
+# report that perfstat can render, and the summary must name the headline
+# rates. The report is nondeterministic wall-clock data, so only its
+# presence and shape are asserted — never its values.
+echo "== perf smoke"
+go run ./cmd/serve -trace "$ART/trace.json" -system heroserve -topology testbed \
+	-model opt-13b -seed 7 -perf-out "$ART/perf.json" > /dev/null
+test -s "$ART/perf.json"
+go run ./cmd/perfstat "$ART/perf.json" > "$ART/perf.txt"
+grep -q 'events/s' "$ART/perf.txt"
+grep -q 'wall-seconds per sim-second' "$ART/perf.txt"
+grep -q 'phase split of wall-clock' "$ART/perf.txt"
+go run ./cmd/perfstat -diff "$ART/perf.json" "$ART/perf.json" | grep -q 'events/s'
+
 # Golden-metrics gate: the pinned seed matrix must reproduce the checked-in
 # expositions byte for byte. On drift the per-case diffs land in the
 # artifact dir for upload.
@@ -129,9 +143,10 @@ GOLDEN_DIFF_DIR="$ART/golden-diff" scripts/golden.sh check
 echo "== golden metrics (reference simulator paths)"
 GOLDEN_DIFF_DIR="$ART/golden-ref-diff" scripts/golden.sh refcheck
 
-# Benchmark regression tripwire: re-run the pinned benches briefly and WARN
-# (never fail — shared runners are noisy) when ns/op regresses >20% against
-# the committed BENCH_6.json.
+# Benchmark regression tripwire: re-run the pinned benches (including the
+# 100k-request stress pair) briefly and WARN (never fail by default — shared
+# runners are noisy) when ns/op regresses >20% against the newest committed
+# BENCH_*.json. Set BENCH_STRICT=1 to fail on >35% regressions.
 echo "== bench check (warn-only)"
 scripts/bench.sh check || echo "bench: check failed to run (non-fatal)" >&2
 

@@ -90,11 +90,20 @@ produce() {
 	# shellcheck disable=SC2086 # word-splitting of the arg strings is intended
 	"$BIN/tracegen" $tg > "$OUT_DIR/$name.trace.json"
 	# shellcheck disable=SC2086
+	# -perf-out arms the performance observatory on every golden run: the
+	# report itself is nondeterministic wall-clock data (never compared), but
+	# producing the goldens WITH sampling enabled is the standing proof that
+	# the sampler perturbs no golden surface.
 	"$BIN/serve" -trace "$OUT_DIR/$name.trace.json" $sv $EXTRA_SV \
 		-metrics-out "$OUT_DIR/$name.raw.prom" \
 		-trace-out "$OUT_DIR/$name.spans.json" \
 		-decisions-out "$OUT_DIR/$name.decisions.json" \
-		-alerts-out "$OUT_DIR/$name.alerts.json" > /dev/null
+		-alerts-out "$OUT_DIR/$name.alerts.json" \
+		-perf-out "$OUT_DIR/$name.perf.json" > /dev/null
+	if [[ ! -s "$OUT_DIR/$name.perf.json" ]]; then
+		echo "golden: FAIL $name produced no perf report" >&2
+		exit 1
+	fi
 	LC_ALL=C sort "$OUT_DIR/$name.raw.prom" > "$OUT_DIR/$name.prom"
 	"$BIN/decisionstat" -tsv "$OUT_DIR/$name.decisions.json" > "$OUT_DIR/$name.decisions.tsv"
 	"$BIN/alertstat" -tsv "$OUT_DIR/$name.alerts.json" > "$OUT_DIR/$name.alerts.tsv"
